@@ -1,0 +1,401 @@
+package stateowned
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper, plus pipeline-stage and substrate benchmarks, and the
+// ablation benches DESIGN.md calls out. Regeneration benchmarks reuse a
+// shared pipeline run (the object of study is the analysis cost); the
+// stage benchmarks measure the pipeline itself.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+import (
+	"sync"
+	"testing"
+
+	"stateowned/internal/analysis"
+	"stateowned/internal/as2org"
+	"stateowned/internal/bgp"
+	"stateowned/internal/candidates"
+	"stateowned/internal/churn"
+	"stateowned/internal/confirm"
+	"stateowned/internal/docsrc"
+	"stateowned/internal/expand"
+	"stateowned/internal/eyeballs"
+	"stateowned/internal/geo"
+	"stateowned/internal/ownership"
+	"stateowned/internal/topology"
+	"stateowned/internal/whois"
+	"stateowned/internal/world"
+)
+
+// benchScale keeps individual benchmark iterations under a second while
+// exercising every code path; the experiment binary runs at scale 1.0.
+const benchScale = 0.15
+
+var (
+	benchOnce sync.Once
+	benchRes  *Result
+	benchData *analysis.Data
+)
+
+func benchSetup(b *testing.B) (*Result, *analysis.Data) {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchRes = Run(Config{Seed: 42, Scale: benchScale})
+		benchData = benchRes.AnalysisData()
+		benchData.EnsureSnapshots()
+	})
+	return benchRes, benchData
+}
+
+// --- Substrate benchmarks -------------------------------------------------
+
+func BenchmarkWorldGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		world.Generate(world.Config{Seed: 42, Scale: benchScale})
+	}
+}
+
+func BenchmarkTopologyBuild(b *testing.B) {
+	res, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topology.Build(res.World, topology.FinalYear)
+	}
+}
+
+func BenchmarkRoutePropagation(b *testing.B) {
+	res, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bgp.Propagate(res.Topology, 7473)
+	}
+}
+
+func BenchmarkCustomerCone(b *testing.B) {
+	res, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res.Topology.ConeSize(7473)
+	}
+}
+
+func BenchmarkGeoBuild(b *testing.B) {
+	res, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		geo.Build(res.World)
+	}
+}
+
+func BenchmarkEyeballsBuild(b *testing.B) {
+	res, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eyeballs.Build(res.World)
+	}
+}
+
+func BenchmarkWhoisAndAS2Org(b *testing.B) {
+	res, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		as2org.Infer(whois.Build(res.World))
+	}
+}
+
+func BenchmarkDocCorpusBuild(b *testing.B) {
+	res, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		docsrc.Build(res.World)
+	}
+}
+
+// --- Pipeline-stage benchmarks --------------------------------------------
+
+func BenchmarkStage1Candidates(b *testing.B) {
+	res, _ := benchSetup(b)
+	in := candidates.Inputs{
+		Geo: res.Geo, Eyeballs: res.Eyeballs, CTITop: res.CTITop,
+		WHOIS: res.WHOIS, PeeringDB: res.PeeringDB, AS2Org: res.AS2Org,
+		Orbis: res.Orbis, Docs: res.Docs, Countries: res.World.Countries,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		candidates.Run(in)
+	}
+}
+
+func BenchmarkStage2Confirm(b *testing.B) {
+	res, _ := benchSetup(b)
+	in := confirm.Inputs{WHOIS: res.WHOIS, PeeringDB: res.PeeringDB, Docs: res.Docs}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		confirm.Run(in, res.Candidates.Companies)
+	}
+}
+
+func BenchmarkStage3Expand(b *testing.B) {
+	res, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expand.Run(res.Confirmation, res.AS2Org, expand.Options{})
+	}
+}
+
+func BenchmarkFullPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Run(Config{Seed: 42, Scale: benchScale})
+	}
+}
+
+// --- One benchmark per table and figure ------------------------------------
+
+func BenchmarkHeadline(b *testing.B) {
+	_, d := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.ComputeHeadline(d)
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	_, d := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.ComputeFigure1(d)
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	_, d := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.ComputeFigure3(d)
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	_, d := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.ComputeFigure4(d)
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	_, d := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.ComputeFigure5(d)
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	_, d := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.ComputeFigure6(d)
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	_, d := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.ComputeFigure7(d)
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	_, d := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.ComputeTable1(d)
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	_, d := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.ComputeTable2(d)
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	_, d := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.ComputeTable3(d)
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	_, d := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.ComputeTable4(d)
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	_, d := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.ComputeTable5(d, 10)
+	}
+}
+
+func BenchmarkTable6(b *testing.B) {
+	_, d := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.ComputeTable6(d)
+	}
+}
+
+func BenchmarkTable7(b *testing.B) {
+	_, d := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.ComputeTable7(d)
+	}
+}
+
+func BenchmarkTable8(b *testing.B) {
+	_, d := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.ComputeTable8(d, 0.9)
+	}
+}
+
+func BenchmarkOrbisAudit(b *testing.B) {
+	res, d := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.ComputeOrbisAudit(d, res.Orbis)
+	}
+}
+
+func BenchmarkGroundTruthScore(b *testing.B) {
+	_, d := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.ComputeScore(d, nil)
+	}
+}
+
+// --- Ablation benchmarks (DESIGN.md §3) -------------------------------------
+
+// ablationRecall runs a configured pipeline and reports recall vs ground
+// truth as a benchmark metric.
+func ablationRecall(b *testing.B, cfg Config) {
+	b.Helper()
+	var recall, asns float64
+	for i := 0; i < b.N; i++ {
+		res := Run(cfg)
+		s := analysis.ComputeScore(res.AnalysisData(), nil)
+		recall = s.Recall
+		asns = float64(len(res.Dataset.AllASNs()))
+	}
+	b.ReportMetric(recall, "recall")
+	b.ReportMetric(asns, "state-ASNs")
+}
+
+// BenchmarkAblation5pct sweeps the market-share threshold (the paper's
+// 5% cut, §4.1): a larger threshold shrinks the candidate list and costs
+// recall of true state-owned ASes.
+func BenchmarkAblation5pct(b *testing.B) {
+	for _, th := range []struct {
+		name string
+		v    float64
+	}{{"1pct", 0.01}, {"5pct", 0.05}, {"10pct", 0.10}, {"20pct", 0.20}} {
+		b.Run(th.name, func(b *testing.B) {
+			ablationRecall(b, Config{Seed: 42, Scale: benchScale, Threshold: th.v})
+		})
+	}
+}
+
+// BenchmarkAblationSources drops one input source at a time, measuring
+// each source's contribution (the paper's "all sources provide a unique
+// contribution" finding).
+func BenchmarkAblationSources(b *testing.B) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"all", Config{Seed: 42, Scale: benchScale}},
+		{"no-geo", Config{Seed: 42, Scale: benchScale, DisableGeo: true}},
+		{"no-eyeballs", Config{Seed: 42, Scale: benchScale, DisableEyeballs: true}},
+		{"no-cti", Config{Seed: 42, Scale: benchScale, DisableCTI: true}},
+		{"no-orbis", Config{Seed: 42, Scale: benchScale, DisableOrbis: true}},
+		{"no-wikifh", Config{Seed: 42, Scale: benchScale, DisableWikiFH: true}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) { ablationRecall(b, c.cfg) })
+	}
+}
+
+// BenchmarkAblationSiblings disables stage-3 AS2Org expansion, measuring
+// the sibling-recall loss (§6).
+func BenchmarkAblationSiblings(b *testing.B) {
+	b.Run("with-siblings", func(b *testing.B) {
+		ablationRecall(b, Config{Seed: 42, Scale: benchScale})
+	})
+	b.Run("no-siblings", func(b *testing.B) {
+		ablationRecall(b, Config{Seed: 42, Scale: benchScale, DisableSiblings: true})
+	})
+}
+
+// BenchmarkChurnAndAudit measures the §9 ageing model: five years of
+// ownership churn plus a maintenance audit of the dataset, reporting the
+// maintenance fraction as a metric.
+func BenchmarkChurnAndAudit(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		res := Run(Config{Seed: 42, Scale: 0.05})
+		b.StartTimer()
+		churn.Evolve(res.World, 5, 2026, churn.DefaultRates())
+		frac = churn.RunAudit(res.Dataset, res.World).MaintenanceFraction
+	}
+	b.ReportMetric(frac, "maintenance-fraction")
+}
+
+// BenchmarkAblationIndirect quantifies how much of the ground truth is
+// only reachable through indirect-chain equity resolution (funds,
+// holdcos — the Telekom Malaysia structure, §2): it compares full control
+// resolution with a direct-government-holdings-only criterion.
+func BenchmarkAblationIndirect(b *testing.B) {
+	res, _ := benchSetup(b)
+	w := res.World
+	var indirectOnly float64
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for _, id := range w.OperatorIDs {
+			op := w.Operators[id]
+			if !op.Kind.InScope() {
+				continue
+			}
+			if !w.ControlOf(op).Controlled() {
+				continue
+			}
+			// Direct-only criterion: sum government holdings only.
+			direct := 0.0
+			for _, h := range w.Graph.Holders(op.Entity) {
+				if e, ok := w.Graph.Entity(h.Holder); ok && e.Kind == ownership.KindGovernment {
+					direct += h.Share
+				}
+			}
+			if direct < 0.50 {
+				n += len(op.ASNs) // lost without indirect resolution
+			}
+		}
+		indirectOnly = float64(n)
+	}
+	b.ReportMetric(indirectOnly, "ASNs-needing-indirect-chains")
+}

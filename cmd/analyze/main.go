@@ -1,0 +1,68 @@
+// Command analyze runs the paper's §8 "first look" analysis — the global
+// view, the Internet-access-market footprints and the transit-market
+// view — against a pipeline run, optionally loading a previously exported
+// dataset instead of re-running the classification.
+//
+// Usage:
+//
+//	analyze [-seed N] [-scale F] [-dataset dataset.json] [-country CC]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"stateowned"
+	"stateowned/internal/analysis"
+	"stateowned/internal/expand"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("analyze: ")
+	seed := flag.Uint64("seed", 42, "world seed")
+	scale := flag.Float64("scale", 1.0, "world scale")
+	dataset := flag.String("dataset", "", "load this dataset JSON instead of the run's own")
+	country := flag.String("country", "", "print one country's footprint detail")
+	flag.Parse()
+
+	res := stateowned.Run(stateowned.Config{Seed: *seed, Scale: *scale})
+	d := res.AnalysisData()
+
+	if *dataset != "" {
+		f, err := os.Open(*dataset)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds, err := expand.Import(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		d.DS = ds
+		fmt.Printf("loaded dataset: %d organizations, %d ASNs\n", len(ds.Organizations), len(ds.AllASNs()))
+	}
+
+	fmt.Println(analysis.RenderHeadline(analysis.ComputeHeadline(d)))
+	fmt.Println(analysis.RenderTable2(analysis.ComputeTable2(d)))
+	fmt.Println(analysis.RenderFigure4(analysis.ComputeFigure4(d)))
+	fmt.Println(analysis.RenderTable5(analysis.ComputeTable5(d, 10)))
+
+	fmt.Println("Fastest-growing state-owned customer cones (2010-2020):")
+	for _, s := range analysis.FastestGrowingCones(d, 10) {
+		fmt.Printf("  AS%-7d slope %6.1f/yr  cone %4d -> %4d\n",
+			s.AS, s.Slope, s.Sizes[0], s.Sizes[len(s.Sizes)-1])
+	}
+	fmt.Println()
+
+	if *country != "" {
+		for _, f := range analysis.ComputeFigure1(d) {
+			if f.CC == *country {
+				fmt.Printf("%s: domestic=%.2f (addr %.2f / eyeballs %.2f), foreign=%.2f (addr %.2f / eyeballs %.2f)\n",
+					f.CC, f.Domestic, f.DomesticAddr, f.DomesticEye, f.Foreign, f.ForeignAddr, f.ForeignEye)
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Command query answers the questions a downstream user asks of the
+// dataset: is this ASN state-owned, by whom, on what evidence; and what
+// does the state own in a given country.
+//
+// Usage:
+//
+//	query [-seed N] [-scale F] -asn 7473
+//	query [-seed N] [-scale F] -country AO
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stateowned"
+	"stateowned/internal/report"
+	"stateowned/internal/world"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "world seed")
+	scale := flag.Float64("scale", 1.0, "world scale")
+	asn := flag.Uint64("asn", 0, "look up one ASN")
+	country := flag.String("country", "", "list a country's state-owned ASes")
+	flag.Parse()
+	if *asn == 0 && *country == "" {
+		fmt.Fprintln(os.Stderr, "query: need -asn or -country")
+		os.Exit(2)
+	}
+
+	res := stateowned.Run(stateowned.Config{Seed: *seed, Scale: *scale})
+	ds := res.Dataset
+
+	if *asn != 0 {
+		target := world.ASN(*asn)
+		for i := range ds.Organizations {
+			for _, a := range ds.ASNs[i].ASNs {
+				if a != target {
+					continue
+				}
+				org := &ds.Organizations[i]
+				fmt.Printf("AS%d is STATE-OWNED\n", target)
+				fmt.Printf("  organization:  %s (%s)\n", org.OrgName, org.OrgID)
+				fmt.Printf("  conglomerate:  %s\n", org.ConglomerateName)
+				fmt.Printf("  owner state:   %s (%s)\n", org.OwnershipCC, org.OwnershipCountryName)
+				if org.IsForeignSubsidiary() {
+					fmt.Printf("  operates in:   %s (%s) — foreign subsidiary\n", org.TargetCC, org.TargetCountryName)
+				}
+				fmt.Printf("  confirmed by:  %s\n", org.Source)
+				fmt.Printf("  quote:         %q (%s)\n", org.Quote, org.QuoteLang)
+				if org.URL != "" {
+					fmt.Printf("  url:           %s\n", org.URL)
+				}
+				fmt.Printf("  input sources: %v\n", org.Inputs)
+				fmt.Printf("  sibling ASNs:  %v\n", ds.ASNs[i].ASNs)
+				return
+			}
+		}
+		for _, m := range ds.Minority {
+			for _, a := range m.ASNs {
+				if a == world.ASN(*asn) {
+					fmt.Printf("AS%d is MINORITY state-owned: %s holds %.1f%% of %s\n",
+						*asn, m.Owner, m.Share*100, m.OrgName)
+					return
+				}
+			}
+		}
+		fmt.Printf("AS%d: no state ownership detected\n", *asn)
+		return
+	}
+
+	t := report.NewTable("State-owned ASes operating in "+*country,
+		"ASN", "organization", "owner", "foreign", "source")
+	for i := range ds.Organizations {
+		org := &ds.Organizations[i]
+		if org.OperatingCountry() != *country {
+			continue
+		}
+		foreign := ""
+		if org.IsForeignSubsidiary() {
+			foreign = "yes"
+		}
+		for _, a := range ds.ASNs[i].ASNs {
+			t.AddRow(uint32(a), org.OrgName, org.OwnershipCC, foreign, org.Source)
+		}
+	}
+	if t.NumRows() == 0 {
+		fmt.Printf("no state-owned ASes found operating in %s\n", *country)
+		return
+	}
+	fmt.Println(t.String())
+}

@@ -1,0 +1,78 @@
+// Command sensitivity quantifies how much of the reproduction is signal
+// and how much is seed noise: it runs the full pipeline across several
+// seeds and reports mean and standard deviation for the headline metrics,
+// the honesty check a simulation-backed reproduction owes its readers.
+//
+// Usage:
+//
+//	sensitivity [-seeds 5] [-scale 0.25]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+
+	"stateowned"
+	"stateowned/internal/analysis"
+	"stateowned/internal/report"
+)
+
+func main() {
+	nSeeds := flag.Int("seeds", 5, "number of seeds to run")
+	scale := flag.Float64("scale", 0.25, "world scale per run")
+	flag.Parse()
+
+	metrics := []string{
+		"state-owned ASes", "companies", "owner countries",
+		"subsidiary-owner countries", "precision", "recall",
+		"addr share", "addr share ex-US",
+	}
+	samples := make(map[string][]float64, len(metrics))
+
+	for seed := uint64(1); seed <= uint64(*nSeeds); seed++ {
+		res := stateowned.Run(stateowned.Config{Seed: seed * 31, Scale: *scale})
+		d := res.AnalysisData()
+		h := analysis.ComputeHeadline(d)
+		s := analysis.ComputeScore(d, nil)
+		add := func(name string, v float64) { samples[name] = append(samples[name], v) }
+		add("state-owned ASes", float64(h.StateASes))
+		add("companies", float64(h.Companies))
+		add("owner countries", float64(h.OwnerCountries))
+		add("subsidiary-owner countries", float64(h.SubOwners))
+		add("precision", s.Precision)
+		add("recall", s.Recall)
+		add("addr share", h.AddrShare)
+		add("addr share ex-US", h.AddrShareExUS)
+		fmt.Printf("seed %3d: ASes=%d companies=%d countries=%d precision=%.3f recall=%.3f\n",
+			seed*31, h.StateASes, h.Companies, h.OwnerCountries, s.Precision, s.Recall)
+	}
+
+	t := report.NewTable(fmt.Sprintf("Sensitivity across %d seeds (scale %.2f)", *nSeeds, *scale),
+		"metric", "mean", "stddev", "cv")
+	for _, name := range metrics {
+		m, sd := meanStd(samples[name])
+		cv := 0.0
+		if m != 0 {
+			cv = sd / m
+		}
+		t.AddRow(name, fmt.Sprintf("%.3f", m), fmt.Sprintf("%.3f", sd), fmt.Sprintf("%.3f", cv))
+	}
+	fmt.Println()
+	fmt.Println(t.String())
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return
+}

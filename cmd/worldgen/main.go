@@ -1,0 +1,91 @@
+// Command worldgen generates the synthetic ground-truth world and prints
+// a summary: per-region operator counts, state-ownership prevalence, and
+// the anchor operators planted from the paper's tables.
+//
+// Usage:
+//
+//	worldgen [-seed N] [-scale F] [-country CC] [-dot operatorID]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stateowned/internal/ccodes"
+	"stateowned/internal/report"
+	"stateowned/internal/world"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "world seed")
+	scale := flag.Float64("scale", 1.0, "world scale")
+	country := flag.String("country", "", "print this country's operators in detail")
+	dot := flag.String("dot", "", "emit the ownership chain of this operator ID as GraphViz DOT")
+	flag.Parse()
+
+	w := world.Generate(world.Config{Seed: *seed, Scale: *scale})
+	if err := w.Validate(); err != nil {
+		panic(err)
+	}
+
+	if *dot != "" {
+		op, ok := w.Operator(*dot)
+		if !ok {
+			fmt.Printf("worldgen: unknown operator %q\n", *dot)
+			return
+		}
+		if err := w.Graph.WriteDOT(os.Stdout, op.Entity); err != nil {
+			panic(err)
+		}
+		return
+	}
+
+	fmt.Printf("world: %d countries, %d operators, %d ASes, %d entities, %d total announced addresses\n",
+		len(w.Countries), len(w.OperatorIDs), len(w.ASNList), w.Graph.NumEntities(), w.TotalAnnounced())
+
+	t := report.NewTable("Ground truth by region", "region", "countries", "state-owned countries", "state ASes")
+	for _, region := range []ccodes.Region{ccodes.Africa, ccodes.Asia, ccodes.Europe,
+		ccodes.NorthAmerica, ccodes.LatinAmerica, ccodes.Oceania} {
+		countries, stateCountries, stateASes := 0, 0, 0
+		seen := map[string]bool{}
+		for _, cc := range w.Countries {
+			c := ccodes.MustByCode(cc)
+			if c.Region != region {
+				continue
+			}
+			countries++
+			for _, op := range w.OperatorsIn(cc) {
+				if !op.Kind.InScope() {
+					continue
+				}
+				ctrl := w.ControlOf(op)
+				if ctrl.Controlled() && ctrl.Controller == cc {
+					if !seen[cc] {
+						seen[cc] = true
+						stateCountries++
+					}
+					stateASes += len(op.ASNs)
+				}
+			}
+		}
+		t.AddRow(region.String(), countries, stateCountries, stateASes)
+	}
+	fmt.Println(t.String())
+
+	if *country != "" {
+		td := report.NewTable("Operators in "+*country, "id", "brand", "kind", "ASNs", "subs", "addrShare", "control")
+		for _, op := range w.OperatorsIn(*country) {
+			ctrl := w.ControlOf(op)
+			control := "private"
+			if ctrl.Controlled() {
+				control = fmt.Sprintf("%s (%.0f%%)", ctrl.Controller, ctrl.Share*100)
+			} else if cc, share, ok := w.Graph.MinorityState(op.Entity); ok {
+				control = fmt.Sprintf("minority %s (%.0f%%)", cc, share*100)
+			}
+			td.AddRow(op.ID, op.BrandName, op.Kind.String(), len(op.ASNs), op.Subscribers,
+				fmt.Sprintf("%.2f", op.AddrShare), control)
+		}
+		fmt.Println(td.String())
+	}
+}

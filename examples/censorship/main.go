@@ -1,0 +1,95 @@
+// Censorship-readiness study: the paper's introduction motivates the
+// dataset with Internet-shutdown and surveillance research (Dainotti et
+// al., Raman et al.). This example combines the state-ownership dataset
+// with the topology to answer the question such studies start from: in
+// which countries could the state unilaterally disconnect or intercept
+// most Internet access, because it owns the networks that carry it?
+//
+// For each country we compute a "state leverage" score: the state-owned
+// share of the access market (max of addresses and eyeballs, as in the
+// paper's Figure 1) combined with whether international connectivity
+// funnels through a state-owned gateway AS.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"stateowned"
+	"stateowned/internal/analysis"
+	"stateowned/internal/report"
+	"stateowned/internal/world"
+)
+
+func main() {
+	res := stateowned.Run(stateowned.Config{Seed: 42, Scale: 0.25})
+	d := res.AnalysisData()
+
+	// Ownership per dataset ASN.
+	owner := map[world.ASN]string{}
+	for i := range res.Dataset.Organizations {
+		for _, a := range res.Dataset.ASNs[i].ASNs {
+			owner[a] = res.Dataset.Organizations[i].OwnershipCC
+		}
+	}
+
+	type row struct {
+		cc         string
+		market     float64
+		gateway    bool // a domestic state-owned AS is the top transit chokepoint
+		leverage   float64
+		gatewayASN world.ASN
+	}
+	var rows []row
+	footprints := analysis.ComputeFigure1(d)
+	for _, f := range footprints {
+		r := row{cc: f.CC, market: f.Domestic}
+		// Gateway check: the country's highest-CTI AS is state-owned by
+		// the country itself.
+		for _, top := range res.CTITop[f.CC] {
+			if owner[top] == f.CC {
+				r.gateway = true
+				r.gatewayASN = top
+				break
+			}
+		}
+		r.leverage = r.market
+		if r.gateway {
+			// A state chokepoint makes even partial market ownership
+			// decisive for shutdown capability.
+			r.leverage = 0.5 + 0.5*r.market
+		}
+		if r.leverage > 0 {
+			rows = append(rows, r)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].leverage != rows[j].leverage {
+			return rows[i].leverage > rows[j].leverage
+		}
+		return rows[i].cc < rows[j].cc
+	})
+
+	t := report.NewTable("State shutdown/surveillance leverage (top 25)",
+		"cc", "state market share", "state gateway", "leverage")
+	for i, r := range rows {
+		if i >= 25 {
+			break
+		}
+		gw := "-"
+		if r.gateway {
+			gw = fmt.Sprintf("AS%d", r.gatewayASN)
+		}
+		t.AddRow(r.cc, fmt.Sprintf("%.2f", r.market), gw, fmt.Sprintf("%.2f", r.leverage))
+	}
+	fmt.Println(t.String())
+
+	high := 0
+	for _, r := range rows {
+		if r.leverage > 0.9 {
+			high++
+		}
+	}
+	fmt.Printf("countries where the state could unilaterally shut down >90%% of access: %d\n", high)
+	fmt.Println("(compare the paper's Table 8: 18 countries with >=0.9 state access-market footprint)")
+}

@@ -1,0 +1,58 @@
+// Dataset-ageing study: §9 of the paper warns that ownership is dynamic —
+// privatizations, nationalizations, new foreign expansions — so the
+// published dataset needs maintenance, and argues that re-validating an
+// existing list is "significantly less taxing" than regenerating it.
+//
+// This example quantifies that claim: build the dataset at year 0, let
+// the world's ownership churn for five years, audit the aged dataset
+// against the new ground truth, and compare the maintenance workload with
+// a from-scratch rebuild.
+package main
+
+import (
+	"fmt"
+
+	"stateowned"
+	"stateowned/internal/churn"
+	"stateowned/internal/report"
+)
+
+func main() {
+	res := stateowned.Run(stateowned.Config{Seed: 42, Scale: 0.25})
+	ds := res.Dataset
+	fmt.Printf("year 0: dataset has %d organizations / %d ASNs\n\n",
+		len(ds.Organizations), len(ds.AllASNs()))
+
+	events := churn.Evolve(res.World, 5, 2026, churn.DefaultRates())
+	byKind := map[churn.EventKind][]churn.Event{}
+	for _, e := range events {
+		byKind[e.Kind] = append(byKind[e.Kind], e)
+	}
+	t := report.NewTable("Five years of ownership churn", "event", "count", "examples")
+	for _, k := range []churn.EventKind{churn.Privatization, churn.Nationalization, churn.NewForeignSubsidiary} {
+		es := byKind[k]
+		example := ""
+		if len(es) > 0 {
+			example = fmt.Sprintf("%s (%s, year %d)", es[0].Company, es[0].Country, es[0].Year)
+		}
+		t.AddRow(k.String(), len(es), example)
+	}
+	fmt.Println(t.String())
+
+	audit := churn.RunAudit(ds, res.World)
+	fmt.Printf("audit after 5 years:\n")
+	fmt.Printf("  still valid:        %d organizations\n", audit.StillValid)
+	fmt.Printf("  stale (privatized): %d\n", len(audit.StaleOrgs))
+	for i, name := range audit.StaleOrgs {
+		if i >= 5 {
+			fmt.Printf("    ... and %d more\n", len(audit.StaleOrgs)-5)
+			break
+		}
+		fmt.Printf("    - %s\n", name)
+	}
+	fmt.Printf("  newly state-owned:  %d companies to add\n", len(audit.MissingCompanies))
+	fmt.Printf("  maintenance load:   %.1f%% of records need attention\n", 100*audit.MaintenanceFraction)
+	fmt.Printf("\nthe paper's §9 claim holds: upkeep touches a small fraction of the list,\n")
+	fmt.Printf("while a rebuild would re-verify all %d candidate companies.\n",
+		res.Candidates.Stats.CandidateCompanys)
+}

@@ -1,0 +1,66 @@
+// Quickstart: run the full reproduction end to end on a reduced world and
+// look at what the pipeline found — including the Telenor record in the
+// exact shape of the paper's Listing 1.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"stateowned"
+)
+
+func main() {
+	// A reduced world (about a quarter of the default stub density)
+	// keeps the quickstart under a couple of seconds.
+	res := stateowned.Run(stateowned.Config{Seed: 42, Scale: 0.25})
+
+	ds := res.Dataset
+	fmt.Printf("found %d state-owned organizations owning %d ASNs (%d operated abroad)\n\n",
+		len(ds.Organizations), len(ds.AllASNs()), ds.NumForeignSubsidiaryASNs())
+
+	// Print the Telenor organization the way the paper's Listing 1 does.
+	for i := range ds.Organizations {
+		org := &ds.Organizations[i]
+		if org.OrgName != "Telenor Norge AS" && org.ConglomerateName != "Telenor Norge AS" {
+			continue
+		}
+		fmt.Println("# Ownership details of an identified state-owned organization")
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(org); err != nil {
+			panic(err)
+		}
+		fmt.Println("# List of ASes operated by the identified state-owned organization")
+		if err := enc.Encode(ds.ASNs[i]); err != nil {
+			panic(err)
+		}
+		break
+	}
+
+	// The ten countries with the most state-owned ASNs on their soil.
+	counts := map[string]int{}
+	for i := range ds.Organizations {
+		counts[ds.Organizations[i].OperatingCountry()] += len(ds.ASNs[i].ASNs)
+	}
+	type row struct {
+		cc string
+		n  int
+	}
+	rows := make([]row, 0, len(counts))
+	for cc, n := range counts {
+		rows = append(rows, row{cc, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].cc < rows[j].cc
+	})
+	fmt.Println("\ncountries with the most state-owned ASNs operated on their soil:")
+	for i := 0; i < 10 && i < len(rows); i++ {
+		fmt.Printf("  %s  %d\n", rows[i].cc, rows[i].n)
+	}
+}

@@ -1,0 +1,60 @@
+// Transit-market view: §8 of the paper examines state-owned operators in
+// the Internet-wide transit ecosystem — the ten largest customer cones
+// (Table 5), the submarine-cable newcomers whose cones grew fastest
+// (Figure 5), and the narrow class of influential transit ASes only the
+// CTI metric surfaces (Table 7).
+package main
+
+import (
+	"fmt"
+
+	"stateowned"
+	"stateowned/internal/analysis"
+)
+
+func main() {
+	res := stateowned.Run(stateowned.Config{Seed: 42, Scale: 0.25})
+	d := res.AnalysisData()
+
+	fmt.Println(analysis.RenderTable5(analysis.ComputeTable5(d, 10)))
+
+	fmt.Println("Fastest-growing state-owned customer cones, 2010-2020 (§8):")
+	for _, s := range analysis.FastestGrowingCones(d, 8) {
+		fmt.Printf("  AS%-7d slope %5.1f/yr: ", s.AS, s.Slope)
+		for i, size := range s.Sizes {
+			if i > 0 {
+				fmt.Print(" ")
+			}
+			fmt.Print(size)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+
+	fmt.Println(analysis.RenderFigure5(analysis.ComputeFigure5(d)))
+	fmt.Println(analysis.RenderTable7(analysis.ComputeTable7(d)))
+
+	// Per-country transit chokepoints: the two most CTI-influential ASes
+	// for a sample of gateway countries.
+	fmt.Println("CTI top-2 transit ASes in gateway-concentrated countries (sample):")
+	shown := 0
+	for _, cc := range res.World.Countries {
+		if !res.World.Profiles[cc].GatewayConcentrated || shown >= 8 {
+			continue
+		}
+		tops := res.CTITop[cc]
+		if len(tops) == 0 {
+			continue
+		}
+		fmt.Printf("  %s:", cc)
+		for _, a := range tops {
+			name := fmt.Sprintf("AS%d", a)
+			if rec, ok := res.WHOIS.Lookup(a); ok {
+				name = fmt.Sprintf("AS%d (%s)", a, rec.ASName)
+			}
+			fmt.Printf(" %s", name)
+		}
+		fmt.Println()
+		shown++
+	}
+}

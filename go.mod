@@ -1,0 +1,3 @@
+module stateowned
+
+go 1.22

@@ -1,0 +1,393 @@
+// Package analysis regenerates every table and figure of the paper's
+// evaluation (§7, §8 and the appendices) from a pipeline run, and scores
+// the pipeline against the synthetic ground truth — the measurement the
+// original study could only approximate through expert spot checks.
+package analysis
+
+import (
+	"sort"
+
+	"stateowned/internal/candidates"
+	"stateowned/internal/ccodes"
+	"stateowned/internal/confirm"
+	"stateowned/internal/expand"
+	"stateowned/internal/eyeballs"
+	"stateowned/internal/geo"
+	"stateowned/internal/topology"
+	"stateowned/internal/whois"
+	"stateowned/internal/world"
+)
+
+// Data bundles the artifacts of one pipeline run that the analyses read.
+type Data struct {
+	World *world.World
+	Geo   *geo.DB
+	Eye   *eyeballs.Dataset
+	WHOIS *whois.Registry
+	Cands *candidates.Result
+	Conf  *confirm.Result
+	DS    *expand.Dataset
+
+	// Snapshots are the yearly topology graphs; Lazy-built by
+	// EnsureSnapshots for the cone analyses.
+	Snapshots map[int]*topology.Graph
+}
+
+// EnsureSnapshots builds the 2010-2020 topology snapshots on first use.
+func (d *Data) EnsureSnapshots() {
+	if d.Snapshots == nil {
+		d.Snapshots = topology.Snapshots(d.World)
+	}
+}
+
+// asOwner returns, for each dataset ASN, the owning state and the country
+// of operation.
+type asOwner struct {
+	owner   string // ownership_cc
+	operate string // operating country
+	orgIdx  int
+	foreign bool
+}
+
+func (d *Data) ownersByAS() map[world.ASN]asOwner {
+	out := make(map[world.ASN]asOwner)
+	for i := range d.DS.Organizations {
+		org := &d.DS.Organizations[i]
+		for _, a := range d.DS.ASNs[i].ASNs {
+			out[a] = asOwner{
+				owner:   org.OwnershipCC,
+				operate: org.OperatingCountry(),
+				orgIdx:  i,
+				foreign: org.IsForeignSubsidiary(),
+			}
+		}
+	}
+	return out
+}
+
+// Headline reproduces the paper's §1/§7 headline numbers.
+type Headline struct {
+	StateASes      int // paper: 989
+	SubsidiaryASes int // paper: 193
+	Companies      int // paper: 302
+	SubCompanies   int // paper: 84
+	OwnerCountries int // paper: 123 (domestic majority owners)
+	SubOwners      int // paper: 19 (countries owning foreign subsidiaries)
+	MinorityOwners int // paper: >= 24
+
+	// Address-space shares of the global announced table.
+	AddrShare     float64 // paper: 0.17
+	AddrShareExUS float64 // paper: 0.25
+}
+
+// ComputeHeadline derives the headline statistics.
+func ComputeHeadline(d *Data) Headline {
+	h := Headline{
+		StateASes:      len(d.DS.AllASNs()),
+		SubsidiaryASes: d.DS.NumForeignSubsidiaryASNs(),
+		Companies:      len(d.DS.Organizations),
+	}
+	domestic := map[string]bool{}
+	subOwners := map[string]bool{}
+	for i := range d.DS.Organizations {
+		org := &d.DS.Organizations[i]
+		if org.IsForeignSubsidiary() {
+			h.SubCompanies++
+			subOwners[org.OwnershipCC] = true
+		} else {
+			domestic[org.OwnershipCC] = true
+		}
+	}
+	h.OwnerCountries = len(domestic)
+	h.SubOwners = len(subOwners)
+	minority := map[string]bool{}
+	for _, m := range d.DS.Minority {
+		minority[m.Owner] = true
+	}
+	h.MinorityOwners = len(minority)
+
+	var stateAddr, totalAddr, usAddr uint64
+	owners := d.ownersByAS()
+	for _, asn := range d.World.ASNList {
+		n := d.World.ASes[asn].NumAddresses()
+		totalAddr += n
+		if d.World.ASes[asn].Country == "US" {
+			usAddr += n
+		}
+		if _, ok := owners[asn]; ok {
+			stateAddr += n
+		}
+	}
+	if totalAddr > 0 {
+		h.AddrShare = float64(stateAddr) / float64(totalAddr)
+		h.AddrShareExUS = float64(stateAddr) / float64(totalAddr-usAddr)
+	}
+	return h
+}
+
+// CountryFootprint is one country's row of Figure 1: the domestic and
+// foreign state-owned footprint of its access market, each the maximum of
+// the address-space fraction and the eyeball fraction.
+type CountryFootprint struct {
+	CC       string
+	Domestic float64
+	Foreign  float64
+	// Components, for Figure 4.
+	DomesticAddr, DomesticEye float64
+	ForeignAddr, ForeignEye   float64
+}
+
+// ComputeFigure1 derives every country's footprint row.
+func ComputeFigure1(d *Data) []CountryFootprint {
+	owners := d.ownersByAS()
+	var out []CountryFootprint
+	for _, cc := range d.World.Countries {
+		f := CountryFootprint{CC: cc}
+		total := d.Geo.TotalIn(cc)
+		if total > 0 {
+			var dom, for_ uint64
+			for asn, o := range owners {
+				n := d.Geo.OriginAddressesIn(asn, cc)
+				if n == 0 {
+					continue
+				}
+				if o.owner == cc {
+					dom += n
+				} else {
+					for_ += n
+				}
+			}
+			f.DomesticAddr = float64(dom) / float64(total)
+			f.ForeignAddr = float64(for_) / float64(total)
+		}
+		for _, e := range d.Eye.Country(cc) {
+			if o, ok := owners[e.AS]; ok {
+				if o.owner == cc {
+					f.DomesticEye += e.Share
+				} else {
+					f.ForeignEye += e.Share
+				}
+			}
+		}
+		f.Domestic = maxf(f.DomesticAddr, f.DomesticEye)
+		f.Foreign = maxf(f.ForeignAddr, f.ForeignEye)
+		if f.Domestic > 1 {
+			f.Domestic = 1
+		}
+		if f.Foreign > 1 {
+			f.Foreign = 1
+		}
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].CC < out[j].CC })
+	return out
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// VennRegionCount is one exclusive region of a source Venn diagram.
+type VennRegionCount struct {
+	Members []string
+	Count   int
+}
+
+// ComputeFigure3 builds the three-category Venn (Technical / Wikipedia+FH
+// / Orbis) over the dataset's ASes.
+func ComputeFigure3(d *Data) []VennRegionCount {
+	cat := func(ss candidates.SourceSet) []string {
+		var out []string
+		if ss.Has(candidates.SrcGeo) || ss.Has(candidates.SrcEyeballs) || ss.Has(candidates.SrcCTI) {
+			out = append(out, "Technical")
+		}
+		if ss.Has(candidates.SrcWiki) {
+			out = append(out, "Wikipedia+FH")
+		}
+		if ss.Has(candidates.SrcOrbis) {
+			out = append(out, "Orbis")
+		}
+		return out
+	}
+	return vennOverASes(d, cat)
+}
+
+// ComputeFigure7 builds the full five-source Venn (Appendix C).
+func ComputeFigure7(d *Data) []VennRegionCount {
+	cat := func(ss candidates.SourceSet) []string { return ss.Letters() }
+	return vennOverASes(d, cat)
+}
+
+func vennOverASes(d *Data, cat func(candidates.SourceSet) []string) []VennRegionCount {
+	counts := map[string]*VennRegionCount{}
+	for i := range d.DS.Organizations {
+		members := cat(d.DS.InputsOf(i))
+		if len(members) == 0 {
+			continue
+		}
+		key := ""
+		for _, m := range members {
+			key += m + "|"
+		}
+		r := counts[key]
+		if r == nil {
+			r = &VennRegionCount{Members: members}
+			counts[key] = r
+		}
+		r.Count += len(d.DS.ASNs[i].ASNs)
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]VennRegionCount, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, *counts[k])
+	}
+	return out
+}
+
+// Figure4Bin is one decile bar of Figure 4, split by RIR.
+type Figure4Bin struct {
+	Low, High float64
+	ByRIR     map[ccodes.RIR]int
+	Total     int
+}
+
+// Figure4Result carries both panels plus the §8 threshold statistics.
+type Figure4Result struct {
+	Addr, Eye []Figure4Bin
+	// Threshold stats (paper: 49 countries > 0.5 by addresses, 42 by
+	// eyeballs, 18 over 0.9 combined).
+	AddrOverHalf, EyeOverHalf, Over90Combined int
+}
+
+// ComputeFigure4 buckets countries' aggregated domestic state footprints.
+func ComputeFigure4(d *Data) Figure4Result {
+	fp := ComputeFigure1(d)
+	mk := func() []Figure4Bin {
+		bins := make([]Figure4Bin, 10)
+		for i := range bins {
+			bins[i] = Figure4Bin{
+				Low: float64(i) / 10, High: float64(i+1) / 10,
+				ByRIR: map[ccodes.RIR]int{},
+			}
+		}
+		return bins
+	}
+	res := Figure4Result{Addr: mk(), Eye: mk()}
+	put := func(bins []Figure4Bin, v float64, rir ccodes.RIR) {
+		i := int(v * 10)
+		if i > 9 {
+			i = 9
+		}
+		bins[i].ByRIR[rir]++
+		bins[i].Total++
+	}
+	for _, f := range fp {
+		c := ccodes.MustByCode(f.CC)
+		va := clamp01(f.DomesticAddr)
+		ve := clamp01(f.DomesticEye)
+		put(res.Addr, va, c.RIR)
+		put(res.Eye, ve, c.RIR)
+		if va > 0.5 {
+			res.AddrOverHalf++
+		}
+		if ve > 0.5 {
+			res.EyeOverHalf++
+		}
+		if va > 0.9 || ve > 0.9 {
+			res.Over90Combined++
+		}
+	}
+	return res
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// ConeSeries is one AS's customer-cone trajectory (Figure 5).
+type ConeSeries struct {
+	AS    world.ASN
+	Years []int
+	Sizes []int
+	Slope float64
+}
+
+// ComputeFigure5 returns the cone-growth series for the paper's two
+// submarine-cable anchors (Angola Cables, BSCCL).
+func ComputeFigure5(d *Data) []ConeSeries {
+	return ConeGrowth(d, []world.ASN{37468, 132602})
+}
+
+// ConeGrowth computes yearly cone sizes and the OLS growth slope for the
+// given ASes.
+func ConeGrowth(d *Data, asns []world.ASN) []ConeSeries {
+	d.EnsureSnapshots()
+	var out []ConeSeries
+	for _, a := range asns {
+		s := ConeSeries{AS: a}
+		for y := topology.FirstYear; y <= topology.FinalYear; y++ {
+			s.Years = append(s.Years, y)
+			s.Sizes = append(s.Sizes, d.Snapshots[y].ConeSize(a))
+		}
+		s.Slope = topology.GrowthSlope(s.Years, s.Sizes)
+		out = append(out, s)
+	}
+	return out
+}
+
+// FastestGrowingCones ranks the dataset's ASes by cone-growth slope (§8).
+func FastestGrowingCones(d *Data, k int) []ConeSeries {
+	all := ConeGrowth(d, d.DS.AllASNs())
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Slope != all[j].Slope {
+			return all[i].Slope > all[j].Slope
+		}
+		return all[i].AS < all[j].AS
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+// OwnershipCategory classifies a country for Figure 6's world map.
+type OwnershipCategory uint8
+
+// Figure 6 categories.
+const (
+	NoParticipation OwnershipCategory = iota
+	MinorityOnly
+	Majority
+)
+
+// ComputeFigure6 assigns each country its map category.
+func ComputeFigure6(d *Data) map[string]OwnershipCategory {
+	out := map[string]OwnershipCategory{}
+	for _, cc := range d.World.Countries {
+		out[cc] = NoParticipation
+	}
+	for _, m := range d.DS.Minority {
+		if m.Owner != "" {
+			if out[m.Owner] == NoParticipation {
+				out[m.Owner] = MinorityOnly
+			}
+		}
+	}
+	for i := range d.DS.Organizations {
+		out[d.DS.Organizations[i].OwnershipCC] = Majority
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"testing"
+
+	"stateowned/internal/candidates"
+	"stateowned/internal/expand"
+	"stateowned/internal/world"
+)
+
+// The heavyweight analysis tests live in the root package (they share one
+// pipeline run); these cover the package's pure helpers.
+
+func TestClamp01(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{-0.5, 0}, {0, 0}, {0.42, 0.42}, {1, 1}, {3.7, 1},
+	}
+	for _, c := range cases {
+		if got := clamp01(c.in); got != c.want {
+			t.Errorf("clamp01(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMaxf(t *testing.T) {
+	if maxf(1, 2) != 2 || maxf(2, 1) != 2 || maxf(-1, -2) != -1 {
+		t.Error("maxf broken")
+	}
+}
+
+func TestOwnershipCategoryOrdering(t *testing.T) {
+	// Majority must dominate MinorityOnly which dominates
+	// NoParticipation: ComputeFigure6 relies on this upgrade order.
+	if !(NoParticipation < MinorityOnly && MinorityOnly < Majority) {
+		t.Error("category ordering broken")
+	}
+}
+
+func TestVennOverASesGrouping(t *testing.T) {
+	// Build a tiny fake Data with just the dataset fields vennOverASes
+	// reads: organizations' inputs and AS groups.
+	d := &Data{DS: fakeDataset()}
+	regions := vennOverASes(d, func(ss candidates.SourceSet) []string {
+		return ss.Letters()
+	})
+	byKey := map[string]int{}
+	for _, r := range regions {
+		key := ""
+		for _, m := range r.Members {
+			key += m
+		}
+		byKey[key] = r.Count
+	}
+	if byKey["G"] != 2 {
+		t.Errorf("G-only region = %d, want 2", byKey["G"])
+	}
+	if byKey["GO"] != 1 {
+		t.Errorf("G+O region = %d, want 1", byKey["GO"])
+	}
+}
+
+func fakeDataset() *expand.Dataset {
+	ds := &expand.Dataset{}
+	ds.Organizations = append(ds.Organizations,
+		expand.OrgRecord{Inputs: []string{"G"}},
+		expand.OrgRecord{Inputs: []string{"G", "O"}},
+	)
+	ds.ASNs = append(ds.ASNs,
+		expand.OrgASNs{ASNs: []world.ASN{10, 11}},
+		expand.OrgASNs{ASNs: []world.ASN{20}},
+	)
+	return ds
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"stateowned/internal/ccodes"
+)
+
+// CSV emitters for the plottable figures, so the reproduced data can be
+// fed to external plotting tools (the paper's heatmap and histogram
+// figures are graphical; cmd/experiments -csv writes these files).
+
+// WriteFigure1CSV emits the per-country footprint rows.
+func WriteFigure1CSV(w io.Writer, rows []CountryFootprint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"cc", "region", "rir", "domestic", "foreign",
+		"domestic_addr", "domestic_eyeballs", "foreign_addr", "foreign_eyeballs"}); err != nil {
+		return err
+	}
+	for _, f := range rows {
+		c := ccodes.MustByCode(f.CC)
+		rec := []string{
+			f.CC, c.Region.String(), c.RIR.String(),
+			ftoa(f.Domestic), ftoa(f.Foreign),
+			ftoa(f.DomesticAddr), ftoa(f.DomesticEye),
+			ftoa(f.ForeignAddr), ftoa(f.ForeignEye),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure4CSV emits both histogram panels in long form.
+func WriteFigure4CSV(w io.Writer, r Figure4Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"panel", "bin_low", "bin_high", "rir", "countries"}); err != nil {
+		return err
+	}
+	emit := func(panel string, bins []Figure4Bin) error {
+		for _, b := range bins {
+			for _, rir := range ccodes.AllRIRs() {
+				n := b.ByRIR[rir]
+				if n == 0 {
+					continue
+				}
+				rec := []string{panel, ftoa(b.Low), ftoa(b.High), rir.String(), strconv.Itoa(n)}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := emit("addresses", r.Addr); err != nil {
+		return err
+	}
+	if err := emit("eyeballs", r.Eye); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure5CSV emits the cone-growth series in long form.
+func WriteFigure5CSV(w io.Writer, series []ConeSeries) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"asn", "year", "cone"}); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for i := range s.Years {
+			rec := []string{
+				fmt.Sprint(uint32(s.AS)), strconv.Itoa(s.Years[i]), strconv.Itoa(s.Sizes[i]),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }

@@ -1,0 +1,277 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"stateowned/internal/ccodes"
+	"stateowned/internal/orbis"
+	"stateowned/internal/report"
+)
+
+// RenderHeadline formats the headline stats with the paper's values
+// alongside.
+func RenderHeadline(h Headline) string {
+	t := report.NewTable("Headline (paper §1/§7)", "metric", "measured", "paper")
+	t.AddRow("state-owned ASes", h.StateASes, 989)
+	t.AddRow("foreign-subsidiary ASes", h.SubsidiaryASes, 193)
+	t.AddRow("state-owned companies", h.Companies, 302)
+	t.AddRow("foreign-subsidiary companies", h.SubCompanies, 84)
+	t.AddRow("countries owning operators", h.OwnerCountries, 123)
+	t.AddRow("countries owning foreign subsidiaries", h.SubOwners, 19)
+	t.AddRow("countries with minority stakes", h.MinorityOwners, 24)
+	t.AddRow("share of announced address space", fmt.Sprintf("%.2f", h.AddrShare), "0.17")
+	t.AddRow("share excluding the US", fmt.Sprintf("%.2f", h.AddrShareExUS), "0.25")
+	return t.String()
+}
+
+// RenderFigure1 formats the per-country footprint rows (nonzero only).
+func RenderFigure1(rows []CountryFootprint) string {
+	t := report.NewTable("Figure 1: state-owned footprint per country",
+		"cc", "domestic", "foreign", "dom-addr", "dom-eye", "for-addr", "for-eye")
+	for _, f := range rows {
+		if f.Domestic == 0 && f.Foreign == 0 {
+			continue
+		}
+		t.AddRow(f.CC, f.Domestic, f.Foreign, f.DomesticAddr, f.DomesticEye, f.ForeignAddr, f.ForeignEye)
+	}
+	return t.String()
+}
+
+// RenderVennRegions formats a Venn result in the paper's bitmask style.
+func RenderVennRegions(title string, order []string, regions []VennRegionCount) string {
+	rr := make([]report.VennRegion, len(regions))
+	for i, r := range regions {
+		rr[i] = report.VennRegion{Members: r.Members, Count: r.Count}
+	}
+	return report.RenderVenn(title, order, rr)
+}
+
+// RenderFigure4 formats both panels as histograms.
+func RenderFigure4(r Figure4Result) string {
+	var b strings.Builder
+	renderPanel := func(title string, bins []Figure4Bin) {
+		h := report.NewHistogram(title)
+		for _, bin := range bins {
+			var parts []string
+			for _, rir := range ccodes.AllRIRs() {
+				if n := bin.ByRIR[rir]; n > 0 {
+					parts = append(parts, fmt.Sprintf("%s:%d", rir, n))
+				}
+			}
+			h.AddBar(fmt.Sprintf("%.1f-%.1f", bin.Low, bin.High), float64(bin.Total), strings.Join(parts, " "))
+		}
+		b.WriteString(h.String())
+		b.WriteByte('\n')
+	}
+	renderPanel("Figure 4a: countries' aggregated state-owned address space", r.Addr)
+	renderPanel("Figure 4b: countries' aggregated state-owned eyeballs", r.Eye)
+	fmt.Fprintf(&b, "countries > 0.5 by addresses: %d (paper 49)\n", r.AddrOverHalf)
+	fmt.Fprintf(&b, "countries > 0.5 by eyeballs:  %d (paper 42)\n", r.EyeOverHalf)
+	fmt.Fprintf(&b, "countries > 0.9 combined:     %d (paper 18)\n", r.Over90Combined)
+	return b.String()
+}
+
+// RenderFigure5 formats the cone-growth series.
+func RenderFigure5(series []ConeSeries) string {
+	var b strings.Builder
+	for _, s := range series {
+		xs := make([]string, len(s.Years))
+		ys := make([]float64, len(s.Sizes))
+		for i := range s.Years {
+			xs[i] = fmt.Sprintf("'%02d", s.Years[i]%100)
+			ys[i] = float64(s.Sizes[i])
+		}
+		b.WriteString(report.Series(fmt.Sprintf("Figure 5: AS%d customer-cone growth (slope %.1f/yr)", s.AS, s.Slope), xs, ys))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderFigure6 summarizes the world-map categories.
+func RenderFigure6(cats map[string]OwnershipCategory) string {
+	var maj, min, non []string
+	for cc, c := range cats {
+		switch c {
+		case Majority:
+			maj = append(maj, cc)
+		case MinorityOnly:
+			min = append(min, cc)
+		default:
+			non = append(non, cc)
+		}
+	}
+	sortStrings(maj)
+	sortStrings(min)
+	t := report.NewTable("Figure 6: world map categories", "category", "countries", "list")
+	t.AddRow("majority state-owned", len(maj), strings.Join(maj, " "))
+	t.AddRow("minority state-owned", len(min), strings.Join(min, " "))
+	t.AddRow("no participation detected", len(non), "")
+	return t.String()
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// RenderTable1 formats the confirmation-source table with paper values.
+func RenderTable1(rows []Table1Row) string {
+	paper := map[string]int{
+		"Company's website": 161, "Company's annual report": 44,
+		"Freedom House": 33, "TG's commsupdate": 22, "World Bank": 20,
+		"ITU": 6, "FCC": 4, "News": 2, "regulator": 2,
+	}
+	t := report.NewTable("Table 1: confirmation sources", "source", "companies", "paper")
+	for _, r := range rows {
+		p := "-"
+		if v, ok := paper[r.Source]; ok {
+			p = fmt.Sprint(v)
+		}
+		t.AddRow(r.Source, r.Companies, p)
+	}
+	return t.String()
+}
+
+// RenderTable2 formats country-participation counts.
+func RenderTable2(t2 Table2) string {
+	t := report.NewTable("Table 2: countries owning Internet operator businesses",
+		"participation", "countries", "paper")
+	t.AddRow("state-owned operators", t2.MajorityOwners, 123)
+	t.AddRow("subsidiaries", t2.SubsidiaryOwners, 19)
+	t.AddRow("minority state-owned operators", t2.MinorityOwners, 24)
+	t.AddRow("total countries", t2.TotalCountries, 136)
+	return t.String()
+}
+
+// RenderTable3 formats the subsidiary matrix.
+func RenderTable3(rows []Table3Row) string {
+	t := report.NewTable("Table 3: foreign subsidiaries", "owner", "#", "hosts")
+	for _, r := range rows {
+		t.AddRow(r.Owner, len(r.Hosts), strings.Join(r.Hosts, " "))
+	}
+	return t.String()
+}
+
+// RenderTable4 formats per-RIR ownership.
+func RenderTable4(rows []Table4Row, total Table4Row) string {
+	t := report.NewTable("Table 4: state-owned Internet operators by RIR",
+		"", "APNIC", "RIPE", "ARIN", "AFRINIC", "LACNIC", "World")
+	get := func(f func(Table4Row) int) []any {
+		out := make([]any, 0, 7)
+		for _, r := range rows {
+			out = append(out, f(r))
+		}
+		out = append(out, f(total))
+		return out
+	}
+	t.AddRow(append([]any{"# companies"}, get(func(r Table4Row) int { return r.Companies })...)...)
+	t.AddRow(append([]any{"# countries"}, get(func(r Table4Row) int { return r.Countries })...)...)
+	t.AddRow(append([]any{"% countries"}, get(func(r Table4Row) int { return r.PctCountries })...)...)
+	return t.String()
+}
+
+// RenderTable5 formats the top customer cones with the paper's ranking.
+func RenderTable5(rows []Table5Row) string {
+	t := report.NewTable("Table 5: largest customer cones of state-owned ASes",
+		"ASN", "AS name", "cc", "cone")
+	for _, r := range rows {
+		t.AddRow(uint32(r.AS), r.ASName, r.Country, r.ConeSize)
+	}
+	b := t.String()
+	b += "paper order: 7473-SingTel 4235, 12389-Rostelecom 3778, 20485-TTK 3171,\n" +
+		"  37468-Angola Cables 1843, 262589-Internexa 1315, 4809-China Telecom 1134,\n" +
+		"  3303-Swisscom 702, 20804-Exatel 699, 10099-China Unicom 595, 132602-BSCCL 556\n"
+	return b
+}
+
+// RenderTable6 formats per-source contributions.
+func RenderTable6(rows []Table6Row, total Table6Row) string {
+	t := report.NewTable("Table 6: individual contribution of each data source",
+		"source", "state-owned ASes", "(subsidiaries)", "minority", "paper")
+	paper := []string{"593 (126) / 253", "586 (151) / 288", "15 (0) / 7", "587 (123) / 0", "728 (126) / 4"}
+	order := []int{0, 1, 2, 3, 4} // G E C O W; paper order G E C O W with W last
+	for i, r := range rows {
+		_ = order
+		t.AddRow(r.Source.String(), r.StateASes, r.Subsidiaries, r.MinorityASes, paper[i])
+	}
+	t.AddRow("TOTAL", total.StateASes, total.Subsidiaries, total.MinorityASes, "984 (193) / 302")
+	return t.String()
+}
+
+// RenderTable7 formats the CTI-only AS list.
+func RenderTable7(rows []Table7Row) string {
+	t := report.NewTable("Table 7: state-owned ASes only discovered by CTI",
+		"cc", "ASN", "AS name")
+	for _, r := range rows {
+		t.AddRow(r.Country, uint32(r.AS), r.ASName)
+	}
+	b := t.String()
+	b += "paper: 9 ASes (MobiFone Global x3, BSCCL, ETECSA, 4 Belarusian gateway ASes)\n"
+	return b
+}
+
+// RenderTable8 formats the high-footprint country list.
+func RenderTable8(rows []Table8Row) string {
+	t := report.NewTable("Table 8: countries with >= 0.9 estimated access-market footprint",
+		"cc", "footprint")
+	for _, r := range rows {
+		t.AddRow(r.CC, r.Footprint)
+	}
+	b := t.String()
+	b += fmt.Sprintf("measured: %d countries; paper: 18 (ET TV CU GL DJ SY AE ER SR CN LY YE DZ MO AD IR UY TM)\n", len(rows))
+	return b
+}
+
+// RenderRIRShares formats the §8 per-RIR address aggregates.
+func RenderRIRShares(rows []RIRShare) string {
+	t := report.NewTable("Per-RIR state-owned address-space shares (§8)",
+		"RIR", "pooled domestic", "pooled foreign", "median country domestic", "median country foreign")
+	for _, r := range rows {
+		t.AddRow(r.RIR.String(), fmt.Sprintf("%.3f", r.Domestic), fmt.Sprintf("%.3f", r.Foreign),
+			fmt.Sprintf("%.3f", r.MedianDomestic), fmt.Sprintf("%.3f", r.MedianForeign))
+	}
+	b := t.String()
+	b += "paper: AFRINIC's domestic fraction is the largest of all regions and\n" +
+		"AFRINIC hosts the largest foreign state-owned presence; LACNIC's domestic\n" +
+		"fraction is small despite half its countries owning operators.\n"
+	return b
+}
+
+// RenderAppendixE formats the exclusion breakdown.
+func RenderAppendixE(rows []ExcludedRow) string {
+	t := report.NewTable("Appendix E: excluded candidates by category",
+		"verdict", "category", "candidates")
+	for _, r := range rows {
+		reason := r.Reason
+		if reason == "" {
+			reason = "-"
+		}
+		t.AddRow(r.Verdict, reason, r.Count)
+	}
+	return t.String()
+}
+
+// RenderOrbisAudit formats the §7 Orbis quality assessment.
+func RenderOrbisAudit(a OrbisAudit) string {
+	t := report.NewTable("Orbis quality audit (§7)", "metric", "measured", "paper")
+	t.AddRow("correctly labeled state-owned operators", a.TruePositives, "-")
+	t.AddRow("false positives", a.FalsePositives, 12)
+	t.AddRow("false negatives", a.FalseNegatives, 140)
+	t.AddRow("countries with false negatives", a.FNCountries, 79)
+	return t.String()
+}
+
+// RenderScore formats a ground-truth score.
+func RenderScore(title string, s Score) string {
+	t := report.NewTable(title, "tp", "fp", "fn", "precision", "recall")
+	t.AddRow(s.TP, s.FP, s.FN, fmt.Sprintf("%.3f", s.Precision), fmt.Sprintf("%.3f", s.Recall))
+	return t.String()
+}
+
+// OrbisDB re-exports the orbis type for callers that hold a Data plus the
+// database (keeps cmd imports tidy).
+type OrbisDB = orbis.DB

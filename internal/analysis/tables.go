@@ -1,0 +1,539 @@
+package analysis
+
+import (
+	"sort"
+
+	"stateowned/internal/candidates"
+	"stateowned/internal/ccodes"
+	"stateowned/internal/orbis"
+	"stateowned/internal/topology"
+	"stateowned/internal/world"
+)
+
+// Table1Row is one confirmation-source row of Table 1.
+type Table1Row struct {
+	Source    string
+	Companies int
+}
+
+// ComputeTable1 counts which confirmation source verified each company.
+func ComputeTable1(d *Data) []Table1Row {
+	counts := map[string]int{}
+	for i := range d.DS.Organizations {
+		counts[d.DS.Organizations[i].Source]++
+	}
+	out := make([]Table1Row, 0, len(counts))
+	for s, n := range counts {
+		out = append(out, Table1Row{s, n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Companies != out[j].Companies {
+			return out[i].Companies > out[j].Companies
+		}
+		return out[i].Source < out[j].Source
+	})
+	return out
+}
+
+// Table2 summarizes country participation (paper: 123 / 19 / 24, 136
+// total).
+type Table2 struct {
+	MajorityOwners   int
+	SubsidiaryOwners int
+	MinorityOwners   int
+	TotalCountries   int
+}
+
+// ComputeTable2 counts countries by participation type.
+func ComputeTable2(d *Data) Table2 {
+	majority := map[string]bool{}
+	subs := map[string]bool{}
+	minority := map[string]bool{}
+	for i := range d.DS.Organizations {
+		org := &d.DS.Organizations[i]
+		majority[org.OwnershipCC] = true
+		if org.IsForeignSubsidiary() {
+			subs[org.OwnershipCC] = true
+		}
+	}
+	for _, m := range d.DS.Minority {
+		if m.Owner != "" {
+			minority[m.Owner] = true
+		}
+	}
+	all := map[string]bool{}
+	for cc := range majority {
+		all[cc] = true
+	}
+	for cc := range subs {
+		all[cc] = true
+	}
+	for cc := range minority {
+		all[cc] = true
+	}
+	return Table2{
+		MajorityOwners:   len(majority),
+		SubsidiaryOwners: len(subs),
+		MinorityOwners:   len(minority),
+		TotalCountries:   len(all),
+	}
+}
+
+// Table3Row maps one owner country to the hosts of its subsidiaries.
+type Table3Row struct {
+	Owner string
+	Hosts []string
+}
+
+// ComputeTable3 lists foreign-subsidiary relations, most hosts first.
+func ComputeTable3(d *Data) []Table3Row {
+	hosts := map[string]map[string]bool{}
+	for i := range d.DS.Organizations {
+		org := &d.DS.Organizations[i]
+		if !org.IsForeignSubsidiary() {
+			continue
+		}
+		if hosts[org.OwnershipCC] == nil {
+			hosts[org.OwnershipCC] = map[string]bool{}
+		}
+		hosts[org.OwnershipCC][org.TargetCC] = true
+	}
+	out := make([]Table3Row, 0, len(hosts))
+	for owner, hs := range hosts {
+		row := Table3Row{Owner: owner}
+		for h := range hs {
+			row.Hosts = append(row.Hosts, h)
+		}
+		sort.Strings(row.Hosts)
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Hosts) != len(out[j].Hosts) {
+			return len(out[i].Hosts) > len(out[j].Hosts)
+		}
+		return out[i].Owner < out[j].Owner
+	})
+	return out
+}
+
+// Table4Row is one RIR column of Table 4.
+type Table4Row struct {
+	RIR          ccodes.RIR
+	Companies    int
+	Countries    int
+	PctCountries int
+}
+
+// ComputeTable4 groups state ownership by RIR of the home country.
+func ComputeTable4(d *Data) ([]Table4Row, Table4Row) {
+	companies := map[ccodes.RIR]int{}
+	countries := map[ccodes.RIR]map[string]bool{}
+	worldCountries := map[string]bool{}
+	totalCompanies := 0
+	for i := range d.DS.Organizations {
+		org := &d.DS.Organizations[i]
+		cc := org.OwnershipCC
+		c, ok := ccodes.ByCode(cc)
+		if !ok {
+			continue
+		}
+		companies[c.RIR]++
+		totalCompanies++
+		if countries[c.RIR] == nil {
+			countries[c.RIR] = map[string]bool{}
+		}
+		countries[c.RIR][cc] = true
+		worldCountries[cc] = true
+	}
+	var rows []Table4Row
+	for _, rir := range ccodes.AllRIRs() {
+		n := len(ccodes.InRIR(rir))
+		row := Table4Row{RIR: rir, Companies: companies[rir], Countries: len(countries[rir])}
+		if n > 0 {
+			row.PctCountries = row.Countries * 100 / n
+		}
+		rows = append(rows, row)
+	}
+	total := Table4Row{
+		Companies: totalCompanies,
+		Countries: len(worldCountries),
+	}
+	if n := ccodes.Count(); n > 0 {
+		total.PctCountries = total.Countries * 100 / n
+	}
+	return rows, total
+}
+
+// Table5Row is one row of the largest-customer-cones table.
+type Table5Row struct {
+	AS       world.ASN
+	ASName   string
+	Country  string
+	ConeSize int
+}
+
+// ComputeTable5 ranks the dataset's ASes by final-year customer cone.
+func ComputeTable5(d *Data, k int) []Table5Row {
+	d.EnsureSnapshots()
+	g := d.Snapshots[topology.FinalYear]
+	owners := d.ownersByAS()
+	var rows []Table5Row
+	for asn, o := range owners {
+		size := g.ConeSize(asn)
+		if size <= 1 {
+			continue
+		}
+		name := ""
+		if rec, ok := d.WHOIS.Lookup(asn); ok {
+			name = rec.ASName
+		}
+		rows = append(rows, Table5Row{AS: asn, ASName: name, Country: o.operate, ConeSize: size})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].ConeSize != rows[j].ConeSize {
+			return rows[i].ConeSize > rows[j].ConeSize
+		}
+		return rows[i].AS < rows[j].AS
+	})
+	if k > len(rows) {
+		k = len(rows)
+	}
+	return rows[:k]
+}
+
+// Table6Row is one input-source row of Appendix B's Table 6.
+type Table6Row struct {
+	Source       candidates.Source
+	StateASes    int
+	Subsidiaries int
+	MinorityASes int
+}
+
+// ComputeTable6 counts each source's contribution to the final list.
+// Technical sources (G, E, C) are attributed at the AS level — an AS
+// counts for the geolocation source only if it itself crossed the 5%
+// threshold — while the company-level sources (Orbis, Wikipedia+FH)
+// cover all of an organization's ASes, mirroring how the paper's data
+// was collected.
+func ComputeTable6(d *Data) ([]Table6Row, Table6Row) {
+	techTag := map[candidates.Source]map[world.ASN]bool{}
+	for _, src := range []candidates.Source{candidates.SrcGeo, candidates.SrcEyeballs, candidates.SrcCTI} {
+		set := map[world.ASN]bool{}
+		for _, a := range d.Cands.PerSourceASes[src] {
+			set[a] = true
+		}
+		techTag[src] = set
+	}
+	rows := make([]Table6Row, 0, 5)
+	var total Table6Row
+	seenAS := map[world.ASN]bool{}
+	for _, src := range candidates.AllSources() {
+		row := Table6Row{Source: src}
+		tech, isTech := techTag[src]
+		for i := range d.DS.Organizations {
+			ss := d.DS.InputsOf(i)
+			if !ss.Has(src) {
+				continue
+			}
+			for _, a := range d.DS.ASNs[i].ASNs {
+				if isTech && !tech[a] {
+					continue
+				}
+				row.StateASes++
+				if d.DS.Organizations[i].IsForeignSubsidiary() {
+					row.Subsidiaries++
+				}
+			}
+		}
+		for _, m := range d.DS.Minority {
+			var ss candidates.SourceSet
+			// Minority records carry no inputs field in the paper's
+			// schema; attribute them through the stage-2 record.
+			for _, mc := range d.Conf.Minority {
+				if mc.Company.Name == m.OrgName && mc.Company.Country == m.CC {
+					ss = mc.Company.Sources
+					break
+				}
+			}
+			if ss.Has(src) {
+				row.MinorityASes += len(m.ASNs)
+			}
+		}
+		rows = append(rows, row)
+	}
+	for i := range d.DS.Organizations {
+		for _, a := range d.DS.ASNs[i].ASNs {
+			if !seenAS[a] {
+				seenAS[a] = true
+				total.StateASes++
+				if d.DS.Organizations[i].IsForeignSubsidiary() {
+					total.Subsidiaries++
+				}
+			}
+		}
+	}
+	for _, m := range d.DS.Minority {
+		total.MinorityASes += len(m.ASNs)
+	}
+	return rows, total
+}
+
+// Table7Row is one CTI-only AS (Appendix D).
+type Table7Row struct {
+	Country string
+	AS      world.ASN
+	ASName  string
+}
+
+// ComputeTable7 lists dataset ASes whose organizations were discovered by
+// CTI and by no other source.
+func ComputeTable7(d *Data) []Table7Row {
+	var out []Table7Row
+	for i := range d.DS.Organizations {
+		ss := d.DS.InputsOf(i)
+		if !ss.Has(candidates.SrcCTI) {
+			continue
+		}
+		only := true
+		for _, src := range candidates.AllSources() {
+			if src != candidates.SrcCTI && ss.Has(src) {
+				only = false
+			}
+		}
+		if !only {
+			continue
+		}
+		for _, a := range d.DS.ASNs[i].ASNs {
+			name := ""
+			if rec, ok := d.WHOIS.Lookup(a); ok {
+				name = rec.ASName
+			}
+			out = append(out, Table7Row{Country: d.DS.Organizations[i].OperatingCountry(), AS: a, ASName: name})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Country != out[j].Country {
+			return out[i].Country < out[j].Country
+		}
+		return out[i].AS < out[j].AS
+	})
+	return out
+}
+
+// Table8Row is one high-footprint country (Appendix F).
+type Table8Row struct {
+	CC        string
+	Footprint float64
+}
+
+// ComputeTable8 lists countries whose domestic state footprint is at
+// least the threshold (paper: 0.9).
+func ComputeTable8(d *Data, threshold float64) []Table8Row {
+	var out []Table8Row
+	for _, f := range ComputeFigure1(d) {
+		if f.Domestic >= threshold {
+			out = append(out, Table8Row{CC: f.CC, Footprint: f.Domestic})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Footprint != out[j].Footprint {
+			return out[i].Footprint > out[j].Footprint
+		}
+		return out[i].CC < out[j].CC
+	})
+	return out
+}
+
+// ExcludedRow is one §5.3 / Appendix-E exclusion category.
+type ExcludedRow struct {
+	Verdict string
+	Reason  string
+	Count   int
+}
+
+// ComputeAppendixE breaks down the stage-2 exclusions by category: the
+// academic networks, government bureaucratic networks, Internet-
+// administration bodies, subnational operators and non-ISP firms the
+// paper removes from scope, plus the private/minority/unconfirmed
+// outcomes.
+func ComputeAppendixE(d *Data) []ExcludedRow {
+	counts := map[[2]string]int{}
+	for _, e := range d.Conf.Excluded {
+		key := [2]string{e.Verdict.String(), e.Reason}
+		if e.Verdict.String() != "out-of-scope" {
+			key[1] = "" // collapse non-scope reasons to the verdict
+		}
+		counts[key]++
+	}
+	out := make([]ExcludedRow, 0, len(counts))
+	for k, n := range counts {
+		out = append(out, ExcludedRow{Verdict: k[0], Reason: k[1], Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].Verdict != out[j].Verdict {
+			return out[i].Verdict < out[j].Verdict
+		}
+		return out[i].Reason < out[j].Reason
+	})
+	return out
+}
+
+// RIRShare is one RIR's aggregate address-space picture (§8: "the
+// fraction of the address space originated by state-owned ASes in
+// AFRINIC's countries is the largest out of all the regions; AFRINIC
+// also has the largest presence of foreign state-owned ASes").
+type RIRShare struct {
+	RIR ccodes.RIR
+	// Domestic and Foreign are fractions of the RIR's pooled geolocated
+	// address space originated by ASes owned by the same country / by
+	// another state. Pooled shares are dominated by the largest members
+	// (China in APNIC, here as in reality).
+	Domestic float64
+	Foreign  float64
+	// MedianDomestic/MedianForeign are the medians of the member
+	// countries' Figure-1 footprints — the per-country view behind the
+	// paper's "AFRINIC's fraction is the largest" reading.
+	MedianDomestic float64
+	MedianForeign  float64
+}
+
+// ComputeRIRShares aggregates state-owned address footprints per RIR.
+func ComputeRIRShares(d *Data) []RIRShare {
+	owners := d.ownersByAS()
+	type agg struct{ dom, foreign, total float64 }
+	sums := map[ccodes.RIR]*agg{}
+	for _, rir := range ccodes.AllRIRs() {
+		sums[rir] = &agg{}
+	}
+	for _, cc := range d.World.Countries {
+		c := ccodes.MustByCode(cc)
+		a := sums[c.RIR]
+		a.total += float64(d.Geo.TotalIn(cc))
+		for asn, o := range owners {
+			n := float64(d.Geo.OriginAddressesIn(asn, cc))
+			if n == 0 {
+				continue
+			}
+			if o.owner == cc {
+				a.dom += n
+			} else {
+				a.foreign += n
+			}
+		}
+	}
+	perCountry := map[ccodes.RIR][][2]float64{}
+	for _, f := range ComputeFigure1(d) {
+		c := ccodes.MustByCode(f.CC)
+		// Use the paper's Figure-1 metric per country: the max of the
+		// address and eyeball footprints.
+		perCountry[c.RIR] = append(perCountry[c.RIR], [2]float64{f.Domestic, f.Foreign})
+	}
+	median := func(vals []float64) float64 {
+		if len(vals) == 0 {
+			return 0
+		}
+		sort.Float64s(vals)
+		mid := len(vals) / 2
+		if len(vals)%2 == 1 {
+			return vals[mid]
+		}
+		return (vals[mid-1] + vals[mid]) / 2
+	}
+	out := make([]RIRShare, 0, len(sums))
+	for _, rir := range ccodes.AllRIRs() {
+		a := sums[rir]
+		s := RIRShare{RIR: rir}
+		if a.total > 0 {
+			s.Domestic = a.dom / a.total
+			s.Foreign = a.foreign / a.total
+		}
+		var dom, frn []float64
+		for _, p := range perCountry[rir] {
+			dom = append(dom, p[0])
+			frn = append(frn, p[1])
+		}
+		s.MedianDomestic = median(dom)
+		s.MedianForeign = median(frn)
+		out = append(out, s)
+	}
+	return out
+}
+
+// OrbisAudit reproduces §7's commercial-database quality assessment.
+type OrbisAudit struct {
+	TruePositives  int
+	FalsePositives int // paper: 12
+	FalseNegatives int // paper: 140
+	FNCountries    int // paper: 79
+}
+
+// ComputeOrbisAudit compares Orbis's state-owned labels with the
+// pipeline's confirmed list, using ground truth to adjudicate.
+func ComputeOrbisAudit(d *Data, db *orbis.DB) OrbisAudit {
+	var audit OrbisAudit
+	labeled := map[string]bool{}
+	for _, e := range db.StateOwnedTelecoms() {
+		if e.OperatorID != "" {
+			labeled[e.OperatorID] = true
+		}
+	}
+	fnCountries := map[string]bool{}
+	for _, id := range d.World.OperatorIDs {
+		op := d.World.Operators[id]
+		if !op.Kind.InScope() && op.Kind != world.KindMunicipal {
+			continue
+		}
+		truth := op.Kind.InScope() && d.World.Graph.ControlOf(op.Entity).Controlled()
+		switch {
+		case truth && labeled[id]:
+			audit.TruePositives++
+		case truth && !labeled[id]:
+			audit.FalseNegatives++
+			fnCountries[op.Country] = true
+		case !truth && labeled[id]:
+			audit.FalsePositives++
+		}
+	}
+	audit.FNCountries = len(fnCountries)
+	return audit
+}
+
+// Score is the ground-truth evaluation of the pipeline's final dataset.
+type Score struct {
+	TP, FP, FN        int
+	Precision, Recall float64
+}
+
+// ComputeScore scores dataset membership per AS against the world's
+// ground truth. The restrict filter (nil = all) limits scoring to a
+// stratum, e.g. LACNIC for the paper's expert-validation comparison.
+func ComputeScore(d *Data, restrict func(*world.AS) bool) Score {
+	owners := d.ownersByAS()
+	var s Score
+	for _, asn := range d.World.ASNList {
+		as := d.World.ASes[asn]
+		if restrict != nil && !restrict(as) {
+			continue
+		}
+		_, truth := d.World.TrueStateOwnedAS(asn)
+		_, got := owners[asn]
+		switch {
+		case truth && got:
+			s.TP++
+		case truth && !got:
+			s.FN++
+		case !truth && got:
+			s.FP++
+		}
+	}
+	if s.TP+s.FP > 0 {
+		s.Precision = float64(s.TP) / float64(s.TP+s.FP)
+	}
+	if s.TP+s.FN > 0 {
+		s.Recall = float64(s.TP) / float64(s.TP+s.FN)
+	}
+	return s
+}

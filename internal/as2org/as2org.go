@@ -1,0 +1,132 @@
+// Package as2org reimplements the inference behind CAIDA's AS-to-
+// Organization mapping (Cai et al., IMC 2010): ASNs are clustered into
+// organizations by the WHOIS organization records they are registered
+// under. The paper uses AS2Org twice — to count distinct organizations in
+// stage 1 and to expand confirmed companies to their sibling ASNs in
+// stage 3 — and documents its key limitation: siblings registered under
+// different org records (post-acquisition) are not clustered, which this
+// implementation faithfully inherits from the simulated WHOIS.
+package as2org
+
+import (
+	"sort"
+
+	"stateowned/internal/whois"
+	"stateowned/internal/world"
+)
+
+// Org is one inferred organization.
+type Org struct {
+	ID      string // org handle (from WHOIS)
+	Name    string
+	Country string
+	ASNs    []world.ASN
+}
+
+// Mapping is the frozen AS2Org dataset.
+type Mapping struct {
+	orgOf map[world.ASN]string
+	orgs  map[string]*Org
+}
+
+// Infer clusters the registry's ASNs by their WHOIS org handle.
+func Infer(reg *whois.Registry) *Mapping {
+	m := &Mapping{
+		orgOf: make(map[world.ASN]string),
+		orgs:  make(map[string]*Org),
+	}
+	for _, orgID := range reg.Orgs() {
+		asns := reg.ASNsOfOrg(orgID)
+		if len(asns) == 0 {
+			continue
+		}
+		rec, _ := reg.Lookup(asns[0])
+		org := &Org{ID: orgID, Name: rec.OrgName, Country: rec.Country, ASNs: asns}
+		m.orgs[orgID] = org
+		for _, a := range asns {
+			m.orgOf[a] = orgID
+		}
+	}
+	return m
+}
+
+// OrgOf returns the organization an ASN belongs to.
+func (m *Mapping) OrgOf(a world.ASN) (*Org, bool) {
+	id, ok := m.orgOf[a]
+	if !ok {
+		return nil, false
+	}
+	return m.orgs[id], true
+}
+
+// Siblings returns the other ASNs in the same inferred organization.
+func (m *Mapping) Siblings(a world.ASN) []world.ASN {
+	org, ok := m.OrgOf(a)
+	if !ok {
+		return nil
+	}
+	var out []world.ASN
+	for _, s := range org.ASNs {
+		if s != a {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// NumOrgs reports how many organizations were inferred.
+func (m *Mapping) NumOrgs() int { return len(m.orgs) }
+
+// Orgs returns all org IDs, sorted.
+func (m *Mapping) Orgs() []string {
+	out := make([]string, 0, len(m.orgs))
+	for id := range m.orgs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Org returns one organization by ID.
+func (m *Mapping) Org(id string) (*Org, bool) {
+	o, ok := m.orgs[id]
+	return o, ok
+}
+
+// DistinctOrgs counts the organizations behind a set of ASNs (the paper's
+// "1091 ASes ... belong to 1023 different organizations" statistic).
+func (m *Mapping) DistinctOrgs(asns []world.ASN) int {
+	seen := map[string]bool{}
+	for _, a := range asns {
+		if id, ok := m.orgOf[a]; ok {
+			seen[id] = true
+		} else {
+			seen["asn:"+string(rune(a))] = true // unregistered: its own org
+		}
+	}
+	return len(seen)
+}
+
+// MissedSiblings reports, against the ground-truth world, sibling pairs
+// AS2Org fails to cluster (the acquisition-renamed org records). Used by
+// tests and the ablation bench to quantify the stage-3 recall loss the
+// paper describes contributing fixes back for.
+func MissedSiblings(m *Mapping, w *world.World) int {
+	missed := 0
+	for _, id := range w.OperatorIDs {
+		op := w.Operators[id]
+		if len(op.ASNs) < 2 {
+			continue
+		}
+		base, ok := m.orgOf[op.ASNs[0]]
+		if !ok {
+			continue
+		}
+		for _, a := range op.ASNs[1:] {
+			if m.orgOf[a] != base {
+				missed++
+			}
+		}
+	}
+	return missed
+}

@@ -1,0 +1,179 @@
+package candidates
+
+import (
+	"testing"
+
+	"stateowned/internal/as2org"
+	"stateowned/internal/docsrc"
+	"stateowned/internal/eyeballs"
+	"stateowned/internal/geo"
+	"stateowned/internal/orbis"
+	"stateowned/internal/peeringdb"
+	"stateowned/internal/whois"
+	"stateowned/internal/world"
+)
+
+var (
+	testW   = world.Generate(world.Config{Seed: 7, Scale: 0.1})
+	testIn  = buildInputs()
+	testRes = Run(testIn)
+)
+
+func buildInputs() Inputs {
+	reg := whois.Build(testW)
+	return Inputs{
+		Geo:       geo.Build(testW),
+		Eyeballs:  eyeballs.Build(testW),
+		CTITop:    map[string][]world.ASN{"CU": {11960}, "VN": {45895, 7552}},
+		WHOIS:     reg,
+		PeeringDB: peeringdb.Build(testW),
+		AS2Org:    as2org.Infer(reg),
+		Orbis:     orbis.Build(testW),
+		Docs:      docsrc.Build(testW),
+		Countries: testW.Countries,
+	}
+}
+
+func TestSourceSet(t *testing.T) {
+	var ss SourceSet
+	ss = ss.Add(SrcGeo).Add(SrcWiki)
+	if !ss.Has(SrcGeo) || !ss.Has(SrcWiki) || ss.Has(SrcCTI) {
+		t.Fatalf("set membership wrong: %v", ss.Letters())
+	}
+	got := ss.Letters()
+	if len(got) != 2 || got[0] != "G" || got[1] != "W" {
+		t.Errorf("Letters = %v, want [G W]", got)
+	}
+	union := ss.Union(SourceSet(0).Add(SrcOrbis))
+	if !union.Has(SrcOrbis) || !union.Has(SrcGeo) {
+		t.Error("union broken")
+	}
+}
+
+func TestSameCompany(t *testing.T) {
+	same := []struct{ a, b, cc string }{
+		{"Telenor Norge AS", "Telenor", "NO"},
+		{"Angola Cables S.A.", "Angola Cables", "AO"},
+		{"Optus Pty Ltd", "Optus", "AU"},
+		{"Rostelecom PJSC", "Rostelecom", "RU"},
+	}
+	for _, c := range same {
+		if !SameCompany(c.a, c.b, c.cc) {
+			t.Errorf("SameCompany(%q, %q) = false", c.a, c.b)
+		}
+	}
+	different := []struct{ a, b, cc string }{
+		{"Nigeria Mobile", "Nigeria Telecom", "NG"}, // country-token trap
+		{"Singapore Mobile", "Singapore Telecommunications Limited", "SG"},
+		{"Sierra Leone Backbone", "Sierra Leone Telecom", "SL"},
+		{"Telefinl", "Telenor Finland", "FI"},
+		{"BermudaTel", "Bermuda Mobile", "BM"},
+	}
+	for _, c := range different {
+		if SameCompany(c.a, c.b, c.cc) {
+			t.Errorf("SameCompany(%q, %q) = true", c.a, c.b)
+		}
+	}
+}
+
+func TestThresholdFiltering(t *testing.T) {
+	// Candidates must have >= 5% of some country's addresses/eyeballs.
+	geoASes := map[world.ASN]bool{}
+	for _, a := range testRes.PerSourceASes[SrcGeo] {
+		geoASes[a] = true
+	}
+	if len(geoASes) == 0 {
+		t.Fatal("no geolocation candidates")
+	}
+	// Tiny stubs must not qualify.
+	qualified := 0
+	for _, asn := range testW.ASNList {
+		op, _ := testW.OperatorOfAS(asn)
+		if op.Kind == world.KindEnterprise && geoASes[asn] {
+			qualified++
+		}
+	}
+	if frac := float64(qualified) / float64(len(geoASes)); frac > 0.25 {
+		t.Errorf("%.2f of geo candidates are stubs; threshold too weak", frac)
+	}
+	// A higher threshold strictly shrinks the candidate set.
+	strict := testIn
+	strict.Threshold = 0.20
+	strictRes := Run(strict)
+	if strictRes.Stats.GeoASes > testRes.Stats.GeoASes {
+		t.Error("raising the threshold grew the candidate list")
+	}
+}
+
+func TestStatsConsistency(t *testing.T) {
+	st := testRes.Stats
+	if st.TechIntersection > st.GeoASes || st.TechIntersection > st.EyeballASes {
+		t.Error("intersection exceeds a source")
+	}
+	if st.TechUnionGE < st.GeoASes || st.TechUnionGE < st.EyeballASes {
+		t.Error("union smaller than a source")
+	}
+	if st.AllTechnicalASes < st.TechUnionGE {
+		t.Error("all-technical smaller than G/E union")
+	}
+	if st.DistinctOrgs > st.AllTechnicalASes {
+		t.Error("more orgs than ASes")
+	}
+	if st.CandidateCompanys == 0 {
+		t.Error("no candidate companies")
+	}
+}
+
+func TestMergedCandidatesCarryUnionTags(t *testing.T) {
+	// The Telenor candidate must exist with technical + non-technical
+	// sources merged.
+	for _, c := range testRes.Companies {
+		if c.Country != "NO" {
+			continue
+		}
+		if SameCompany(c.Name, "Telenor", "NO") {
+			hasTech := c.Sources.Has(SrcGeo) || c.Sources.Has(SrcEyeballs)
+			if !hasTech {
+				t.Errorf("Telenor candidate lacks technical tags: %v", c.Sources.Letters())
+			}
+			if len(c.ASNs) == 0 {
+				t.Error("Telenor candidate has no ASNs")
+			}
+			return
+		}
+	}
+	t.Error("no Telenor candidate found")
+}
+
+func TestAblationDropsSource(t *testing.T) {
+	noGeo := testIn
+	noGeo.Geo = nil
+	r := Run(noGeo)
+	if r.Stats.GeoASes != 0 {
+		t.Error("geo candidates present despite nil Geo")
+	}
+	if len(r.PerSourceASes[SrcGeo]) != 0 {
+		t.Error("geo AS list not empty")
+	}
+	noWiki := testIn
+	noWiki.DisableWikiFH = true
+	r2 := Run(noWiki)
+	if r2.Stats.WikiFHCompanies != 0 {
+		t.Error("wiki+FH mentions despite DisableWikiFH")
+	}
+}
+
+func TestCompanyMappingPrefersFreshNames(t *testing.T) {
+	// An AS with a PeeringDB entry must be mapped to the brand name, not
+	// the (possibly stale) WHOIS legal name.
+	found := false
+	for _, c := range testRes.Companies {
+		if c.NameSource == "peeringdb" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no candidate mapped via PeeringDB")
+	}
+}

@@ -1,0 +1,216 @@
+// Package churn models what the paper's §9 calls "Changes in ownership
+// over time" and proposes as future work: ownership of telecom companies
+// is dynamic — privatizations (rare), (re-)nationalizations (the Ucell
+// and Vodafone Fiji cases), and new foreign expansions — so a published
+// dataset ages and needs periodic maintenance.
+//
+// Evolve applies seeded yearly ownership events to a world; Audit then
+// compares an existing dataset against the evolved ground truth, telling
+// the maintainer exactly what the paper predicted: re-validating an aged
+// list is far cheaper than rebuilding it, because only a small fraction
+// of records changes per year.
+package churn
+
+import (
+	"fmt"
+	"sort"
+
+	"stateowned/internal/expand"
+	"stateowned/internal/ownership"
+	"stateowned/internal/rng"
+	"stateowned/internal/world"
+)
+
+// EventKind classifies an ownership-change event.
+type EventKind uint8
+
+// Event kinds.
+const (
+	Privatization EventKind = iota
+	Nationalization
+	NewForeignSubsidiary
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case Privatization:
+		return "privatization"
+	case Nationalization:
+		return "nationalization"
+	case NewForeignSubsidiary:
+		return "new-foreign-subsidiary"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one applied ownership change.
+type Event struct {
+	Year       int
+	Kind       EventKind
+	OperatorID string
+	Company    string
+	Country    string
+	Detail     string
+}
+
+// Rates are the per-operator, per-year event probabilities. Defaults
+// follow the paper's observations: privatizations are "relatively rare";
+// nationalizations happen (Ucell 2018, Vodafone Fiji 2014); states keep
+// expanding abroad.
+type Rates struct {
+	Privatization   float64
+	Nationalization float64
+	NewSubsidiary   float64
+}
+
+// DefaultRates mirror the observed decade: roughly one privatization per
+// hundred state operators per year, and somewhat rarer nationalizations.
+func DefaultRates() Rates {
+	return Rates{Privatization: 0.012, Nationalization: 0.006, NewSubsidiary: 0.008}
+}
+
+// Evolve applies `years` years of ownership churn to the world, mutating
+// its equity graph in place, and returns the chronological event log.
+func Evolve(w *world.World, years int, seed uint64, rates Rates) []Event {
+	r := rng.New(seed).Sub("churn")
+	var events []Event
+	for year := 1; year <= years; year++ {
+		yr := r.Sub(fmt.Sprintf("year/%d", year))
+		for _, id := range w.OperatorIDs {
+			op := w.Operators[id]
+			if !op.Kind.InScope() {
+				continue
+			}
+			ctrl := w.Graph.ControlOf(op.Entity)
+			switch {
+			case ctrl.Controlled() && yr.Bool(rates.Privatization):
+				if privatize(w, op) {
+					events = append(events, Event{
+						Year: year, Kind: Privatization, OperatorID: id,
+						Company: op.BrandName, Country: op.Country,
+						Detail: fmt.Sprintf("state of %s divests its holdings", ctrl.Controller),
+					})
+				}
+			case !ctrl.Controlled() && op.Kind == world.KindIncumbent && yr.Bool(rates.Nationalization):
+				if nationalize(w, op) {
+					events = append(events, Event{
+						Year: year, Kind: Nationalization, OperatorID: id,
+						Company: op.BrandName, Country: op.Country,
+						Detail: fmt.Sprintf("government of %s acquires a majority", op.Country),
+					})
+				}
+			case ctrl.Controlled() && ctrl.Controller == op.Country && yr.Bool(rates.NewSubsidiary):
+				events = append(events, Event{
+					Year: year, Kind: NewForeignSubsidiary, OperatorID: id,
+					Company: op.BrandName, Country: op.Country,
+					Detail: "announces a new foreign operation (no ASN yet)",
+				})
+			}
+		}
+	}
+	return events
+}
+
+// privatize removes every state-controlled holding in the operator and
+// hands the equity to a new private buyer. The company keeps its name —
+// the misleading-name hazard §9 warns about now exists in the world.
+func privatize(w *world.World, op *world.Operator) bool {
+	var removed float64
+	for _, h := range w.Graph.Holders(op.Entity) {
+		hc := w.Graph.ControlOf(h.Holder)
+		if hc.Controlled() {
+			removed += w.Graph.RemoveHolding(h.Holder, op.Entity)
+		}
+	}
+	if removed <= 0 {
+		return false
+	}
+	buyer := ownership.EntityID("buyer-" + op.ID)
+	if _, ok := w.Graph.Entity(buyer); !ok {
+		w.Graph.MustAddEntity(ownership.Entity{
+			ID: buyer, Kind: ownership.KindPrivate,
+			Name: op.BrandName + " private investors", Country: op.Country,
+		})
+	}
+	w.Graph.MustAddHolding(ownership.Holding{Holder: buyer, Target: op.Entity, Share: removed})
+	return true
+}
+
+// nationalize moves a majority of the operator's equity to its government.
+func nationalize(w *world.World, op *world.Operator) bool {
+	// Take over the largest private holder's position.
+	for _, h := range w.Graph.Holders(op.Entity) {
+		e, _ := w.Graph.Entity(h.Holder)
+		if e.Kind != ownership.KindPrivate || h.Share < ownership.MajorityThreshold {
+			continue
+		}
+		share := w.Graph.RemoveHolding(h.Holder, op.Entity)
+		gov := ownership.EntityID("gov-" + op.Country)
+		if _, ok := w.Graph.Entity(gov); !ok {
+			w.Graph.MustAddEntity(ownership.Entity{
+				ID: gov, Kind: ownership.KindGovernment,
+				Name: "Government of " + op.Country, Country: op.Country,
+			})
+		}
+		w.Graph.MustAddHolding(ownership.Holding{Holder: gov, Target: op.Entity, Share: share})
+		return true
+	}
+	return false
+}
+
+// Audit compares an existing dataset against the (possibly evolved)
+// world, producing the maintenance picture §9 anticipates.
+type Audit struct {
+	// StaleOrgs are dataset organizations that are no longer majority
+	// state-owned (privatized since publication).
+	StaleOrgs []string
+	// MissingCompanies are operators that became state-owned after the
+	// dataset was built.
+	MissingCompanies []string
+	// StillValid counts organizations whose classification holds.
+	StillValid int
+	// MaintenanceFraction is the share of records needing any edit —
+	// the paper's argument that upkeep is "significantly less taxing"
+	// than regeneration.
+	MaintenanceFraction float64
+}
+
+// RunAudit audits a dataset against the world's current ground truth.
+func RunAudit(ds *expand.Dataset, w *world.World) Audit {
+	var a Audit
+	inDataset := map[string]bool{}
+	for i := range ds.Organizations {
+		org := &ds.Organizations[i]
+		valid := false
+		for _, asn := range ds.ASNs[i].ASNs {
+			if owner, ok := w.TrueStateOwnedAS(asn); ok && owner == org.OwnershipCC {
+				valid = true
+			}
+			if op, ok := w.OperatorOfAS(asn); ok {
+				inDataset[op.ID] = true
+			}
+		}
+		if valid {
+			a.StillValid++
+		} else {
+			a.StaleOrgs = append(a.StaleOrgs, org.OrgName)
+		}
+	}
+	for _, id := range w.OperatorIDs {
+		op := w.Operators[id]
+		if !op.Kind.InScope() || inDataset[id] {
+			continue
+		}
+		if w.Graph.ControlOf(op.Entity).Controlled() {
+			a.MissingCompanies = append(a.MissingCompanies, op.BrandName)
+		}
+	}
+	sort.Strings(a.StaleOrgs)
+	sort.Strings(a.MissingCompanies)
+	if n := len(ds.Organizations); n > 0 {
+		a.MaintenanceFraction = float64(len(a.StaleOrgs)+len(a.MissingCompanies)) / float64(n)
+	}
+	return a
+}

@@ -1,0 +1,127 @@
+package churn
+
+import (
+	"testing"
+
+	"stateowned/internal/as2org"
+	"stateowned/internal/expand"
+	"stateowned/internal/whois"
+	"stateowned/internal/world"
+)
+
+func countStateOps(w *world.World) int {
+	n := 0
+	for _, id := range w.OperatorIDs {
+		op := w.Operators[id]
+		if op.Kind.InScope() && w.Graph.ControlOf(op.Entity).Controlled() {
+			n++
+		}
+	}
+	return n
+}
+
+func TestEvolveChangesOwnership(t *testing.T) {
+	w := world.Generate(world.Config{Seed: 7, Scale: 0.05})
+	before := countStateOps(w)
+	events := Evolve(w, 5, 11, DefaultRates())
+	if len(events) == 0 {
+		t.Fatal("five years produced no events")
+	}
+	after := countStateOps(w)
+	t.Logf("state operators: %d -> %d across %d events", before, after, len(events))
+
+	kinds := map[EventKind]int{}
+	for _, e := range events {
+		kinds[e.Kind]++
+		if e.Year < 1 || e.Year > 5 || e.OperatorID == "" {
+			t.Fatalf("malformed event %+v", e)
+		}
+	}
+	if kinds[Privatization] == 0 {
+		t.Error("no privatizations in five years")
+	}
+
+	// Every privatized operator must have actually lost state control.
+	for _, e := range events {
+		if e.Kind != Privatization {
+			continue
+		}
+		op := w.Operators[e.OperatorID]
+		// It may have been re-nationalized by a later event; verify only
+		// if no later nationalization touched it.
+		renationalized := false
+		for _, e2 := range events {
+			if e2.OperatorID == e.OperatorID && e2.Kind == Nationalization && e2.Year > e.Year {
+				renationalized = true
+			}
+		}
+		if !renationalized && w.Graph.ControlOf(op.Entity).Controlled() {
+			t.Errorf("%s privatized but still controlled", e.OperatorID)
+		}
+	}
+}
+
+func TestEvolveDeterministic(t *testing.T) {
+	w1 := world.Generate(world.Config{Seed: 7, Scale: 0.05})
+	w2 := world.Generate(world.Config{Seed: 7, Scale: 0.05})
+	e1 := Evolve(w1, 3, 5, DefaultRates())
+	e2 := Evolve(w2, 3, 5, DefaultRates())
+	if len(e1) != len(e2) {
+		t.Fatalf("event counts differ: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestZeroRatesNoEvents(t *testing.T) {
+	w := world.Generate(world.Config{Seed: 7, Scale: 0.05})
+	if events := Evolve(w, 10, 3, Rates{}); len(events) != 0 {
+		t.Errorf("zero rates produced %d events", len(events))
+	}
+}
+
+func TestAuditDetectsAgeing(t *testing.T) {
+	w := world.Generate(world.Config{Seed: 7, Scale: 0.05})
+	// Build a small "dataset" directly from ground truth: one org per
+	// state operator.
+	reg := whois.Build(w)
+	m := as2org.Infer(reg)
+	_ = m
+	ds := &expand.Dataset{}
+	for _, id := range w.OperatorIDs {
+		op := w.Operators[id]
+		ctrl := w.Graph.ControlOf(op.Entity)
+		if !op.Kind.InScope() || !ctrl.Controlled() || len(op.ASNs) == 0 {
+			continue
+		}
+		ds.Organizations = append(ds.Organizations, expand.OrgRecord{
+			OrgID: op.OrgID, OrgName: op.LegalName, OwnershipCC: ctrl.Controller,
+		})
+		ds.ASNs = append(ds.ASNs, expand.OrgASNs{OrgID: op.OrgID, ASNs: op.ASNs})
+	}
+
+	// Fresh dataset: fully valid.
+	fresh := RunAudit(ds, w)
+	if len(fresh.StaleOrgs) != 0 {
+		t.Fatalf("fresh dataset already stale: %v", fresh.StaleOrgs)
+	}
+	if fresh.StillValid != len(ds.Organizations) {
+		t.Fatalf("fresh valid = %d of %d", fresh.StillValid, len(ds.Organizations))
+	}
+
+	// Age the world; the audit must now find work, and far less than a
+	// full rebuild.
+	events := Evolve(w, 5, 11, DefaultRates())
+	aged := RunAudit(ds, w)
+	if len(events) > 0 && len(aged.StaleOrgs)+len(aged.MissingCompanies) == 0 {
+		t.Error("events occurred but the audit found nothing")
+	}
+	if aged.MaintenanceFraction > 0.5 {
+		t.Errorf("maintenance fraction %.2f: ageing should be incremental", aged.MaintenanceFraction)
+	}
+	t.Logf("after 5 years: %d stale, %d missing, fraction %.3f",
+		len(aged.StaleOrgs), len(aged.MissingCompanies), aged.MaintenanceFraction)
+}

@@ -1,0 +1,243 @@
+package confirm
+
+import (
+	"testing"
+
+	"stateowned/internal/candidates"
+	"stateowned/internal/docsrc"
+	"stateowned/internal/peeringdb"
+	"stateowned/internal/whois"
+	"stateowned/internal/world"
+)
+
+var (
+	testW  = world.Generate(world.Config{Seed: 7, Scale: 0.1})
+	testIn = Inputs{WHOIS: whois.Build(testW), PeeringDB: peeringdb.Build(testW), Docs: docsrc.Build(testW)}
+)
+
+func TestScopeCheck(t *testing.T) {
+	excluded := []string{
+		"National University of Buenos Aires",
+		"Germany Research and Education Network",
+		"NIC Congo",
+		"Government of Syria IT Directorate",
+		"Anbeap Municipal Broadband",
+		"Bera Cloud Hosting",
+		"Angola National Communication Equipment Company",
+		"Korea National Broadcasting Company",
+	}
+	for _, name := range excluded {
+		if _, bad := scopeCheck(name); !bad {
+			t.Errorf("scopeCheck(%q) should exclude", name)
+		}
+	}
+	kept := []string{
+		"Telenor Norge AS",
+		"beCloud", // word-boundary: not "cloud"
+		"Syrian Telecommunications Establishment",
+		"Angola Cables S.A.",
+		"MobiFone Global JSC",
+		"National Traffic Exchange Center JLLC",
+	}
+	for _, name := range kept {
+		if cat, bad := scopeCheck(name); bad {
+			t.Errorf("scopeCheck(%q) wrongly excluded as %q", name, cat)
+		}
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	want := map[Verdict]string{
+		StateOwned: "state-owned", MinorityOwned: "minority", Private: "private",
+		OutOfScope: "out-of-scope", NoASNFound: "no-asn", Unconfirmed: "unconfirmed",
+	}
+	for v, s := range want {
+		if v.String() != s {
+			t.Errorf("%d.String() = %q, want %q", v, v.String(), s)
+		}
+	}
+}
+
+// runOn pushes a single synthetic candidate through the stage-2 analyst.
+func runOn(t *testing.T, c candidates.Company) *Result {
+	t.Helper()
+	return Run(testIn, []candidates.Company{c})
+}
+
+func TestConfirmTelenor(t *testing.T) {
+	telenor, _ := testW.OperatorOfAS(2119)
+	res := runOn(t, candidates.Company{
+		Name: telenor.LegalName, Country: "NO",
+		ASNs: telenor.ASNs, Sources: candidates.SourceSet(0).Add(candidates.SrcGeo),
+	})
+	if len(res.Confirmed) == 0 {
+		t.Fatal("Telenor not confirmed")
+	}
+	c := res.Confirmed[0]
+	if c.Owner != "NO" {
+		t.Errorf("owner = %s", c.Owner)
+	}
+	if c.Share < 0.5 {
+		t.Errorf("share = %f", c.Share)
+	}
+	if c.Quote == "" || c.URL == "" {
+		t.Error("confirmation record incomplete")
+	}
+	// Telenor's website lists subsidiaries: at least one must have been
+	// discovered and confirmed as a foreign subsidiary.
+	subs := 0
+	for _, conf := range res.Confirmed {
+		if conf.ForeignSubsidiary && conf.Owner == "NO" {
+			subs++
+		}
+	}
+	if subs == 0 {
+		t.Error("no Telenor foreign subsidiaries discovered")
+	}
+}
+
+func TestMinorityRecorded(t *testing.T) {
+	dtag, _ := testW.OperatorOfAS(3320)
+	res := runOn(t, candidates.Company{
+		Name: dtag.LegalName, Country: "DE", ASNs: dtag.ASNs,
+	})
+	if len(res.Minority) != 1 {
+		t.Fatalf("minority records = %d (confirmed=%d excluded=%d)",
+			len(res.Minority), len(res.Confirmed), len(res.Excluded))
+	}
+	m := res.Minority[0]
+	if m.Owner != "DE" || m.Share < 0.30 || m.Share > 0.32 {
+		t.Errorf("Deutsche Telekom minority = %s %.3f", m.Owner, m.Share)
+	}
+}
+
+func TestOrbisAloneNeverConfirms(t *testing.T) {
+	// A company with no documentary trail must be excluded as
+	// unconfirmed even though Orbis proposed it. Use a name that maps to
+	// no ASNs -> no-asn; and a mapped name with no ownership docs ->
+	// unconfirmed. Either way it must not be confirmed.
+	res := runOn(t, candidates.Company{
+		Name: "Completely Fabricated Telecom Holdings", Country: "NO",
+		Sources: candidates.SourceSet(0).Add(candidates.SrcOrbis),
+	})
+	if len(res.Confirmed) != 0 {
+		t.Fatal("phantom Orbis company confirmed")
+	}
+	if len(res.Excluded) != 1 {
+		t.Fatalf("excluded = %d", len(res.Excluded))
+	}
+}
+
+func TestOutOfScopeByMappedWhois(t *testing.T) {
+	// A candidate whose name is innocuous but maps to an academic org
+	// must be excluded after mapping reveals the WHOIS name.
+	var academic *world.Operator
+	for _, id := range testW.OperatorIDs {
+		op := testW.Operators[id]
+		if op.Kind == world.KindAcademic {
+			academic = op
+			break
+		}
+	}
+	if academic == nil {
+		t.Skip("no academic operator")
+	}
+	res := runOn(t, candidates.Company{
+		Name: academic.BrandName, Country: academic.Country,
+	})
+	if len(res.Confirmed) != 0 {
+		t.Fatalf("academic network confirmed as operator: %+v", res.Confirmed[0])
+	}
+}
+
+func TestSubsidiaryUpgradeAfterUnconfirmed(t *testing.T) {
+	// Present Optus before SingTel: the unconfirmed Optus verdict must
+	// be upgraded once SingTel's subsidiary listing provides parent
+	// context (or confirmed directly if its own docs state ownership).
+	optus, _ := testW.OperatorOfAS(7474)
+	singtel, _ := testW.OperatorOfAS(7473)
+	res := Run(testIn, []candidates.Company{
+		{Name: optus.LegalName, Country: "AU", ASNs: optus.ASNs},
+		{Name: singtel.LegalName, Country: "SG", ASNs: singtel.ASNs},
+	})
+	foundOptus := false
+	for _, c := range res.Confirmed {
+		for _, a := range c.Company.ASNs {
+			if a == 7474 {
+				foundOptus = true
+				if c.Owner != "SG" {
+					t.Errorf("Optus owner = %s, want SG", c.Owner)
+				}
+				if !c.ForeignSubsidiary {
+					t.Error("Optus not flagged as foreign subsidiary")
+				}
+			}
+		}
+	}
+	if !foundOptus {
+		t.Error("Optus not confirmed via SingTel")
+	}
+	// No duplicate exclusion record for Optus may survive.
+	for _, e := range res.Excluded {
+		for _, a := range e.Company.ASNs {
+			if a == 7474 {
+				t.Error("stale Optus exclusion record kept after upgrade")
+			}
+		}
+	}
+}
+
+// TestDomainChase covers §4.2's contact-domain fallback: TTK's WHOIS
+// carries only the legal name "TransTeleCom Company JSC", which shares no
+// tokens with the brand "TTK" under which its website publishes the
+// ownership statement. The analyst must reach the website through the
+// WHOIS contact domain.
+func TestDomainChase(t *testing.T) {
+	ttk, _ := testW.OperatorOfAS(20485)
+	res := runOn(t, candidates.Company{
+		Name: ttk.LegalName, Country: "RU", ASNs: []world.ASN{20485},
+	})
+	found := false
+	for _, c := range res.Confirmed {
+		for _, a := range c.Company.ASNs {
+			if a == 20485 {
+				found = true
+				if c.Owner != "RU" {
+					t.Errorf("TTK owner = %s", c.Owner)
+				}
+			}
+		}
+	}
+	if !found {
+		// The website document itself is probabilistic; require at
+		// least that the candidate was not misclassified if unconfirmed.
+		for _, c := range res.Confirmed {
+			t.Logf("confirmed: %+v", c.Company.Name)
+		}
+		for _, e := range res.Excluded {
+			if e.Verdict != Unconfirmed && e.Verdict != NoASNFound {
+				t.Errorf("TTK misclassified as %v (%s)", e.Verdict, e.Reason)
+			}
+		}
+	}
+}
+
+func TestDecoyNameNotConfirmed(t *testing.T) {
+	// Vodafone Fiji's misleading-name inverse: a *privatized* company
+	// whose former name sounds state-owned must end up excluded.
+	for _, id := range testW.OperatorIDs {
+		op := testW.Operators[id]
+		if op.Kind != world.KindIncumbent || op.FormerName == "" {
+			continue
+		}
+		if testW.Graph.ControlOf(op.Entity).Controlled() {
+			continue
+		}
+		res := runOn(t, candidates.Company{Name: op.BrandName, Country: op.Country, ASNs: op.ASNs})
+		if len(res.Confirmed) != 0 {
+			t.Fatalf("privatized decoy %q confirmed", op.BrandName)
+		}
+		return
+	}
+	t.Skip("no privatized decoy in this world")
+}

@@ -1,0 +1,102 @@
+package cti
+
+import (
+	"math"
+	"testing"
+
+	"stateowned/internal/bgp"
+	"stateowned/internal/world"
+)
+
+// TestGoldenFormula verifies the Appendix-G formula against a fully
+// hand-computed example.
+//
+// Setup: country C has two origins, o1 (AS100) with one /24 prefix (256
+// addresses) and o2 (AS200) with one /23 prefix (512 addresses), so
+// A(C) = 768. Transit AS999 sits on some paths. Three monitors:
+//
+//	m0 in AS10: path to o1 = [10, 999, 100]  (999 at d=1)
+//	            path to o2 = [10, 999, 50, 200] (999 at d=2)
+//	m1 in AS20: path to o1 = [20, 100]       (no transit hop)
+//	            path to o2 = [20, 999, 200]  (999 at d=1)
+//	m2 in AS20: path to o1 = [20, 999, 100]  (999 at d=1)
+//	            (no path to o2)
+//
+// Monitor weights: m0 alone in AS10 -> w=1; m1,m2 share AS20 -> w=1/2
+// each. |M| = 3.
+//
+//	CTI(999, C) = 1/3 · [ 1·(256/768·1/1 + 512/768·1/2)     (m0)
+//	                    + 1/2·(512/768·1/1)                  (m1)
+//	                    + 1/2·(256/768·1/1) ]                (m2)
+//	            = 1/3 · [ 2/3 + 1/3 + 1/6 ] = 7/18
+//
+// AS50 appears only on m0's path to o2 at d=1:
+//
+//	CTI(50, C) = 1/3 · 1 · (512/768 · 1/1) = 2/9
+func TestGoldenFormula(t *testing.T) {
+	monitors := []bgp.Monitor{
+		{ID: "m0", AS: 10},
+		{ID: "m1", AS: 20},
+		{ID: "m2", AS: 20},
+	}
+	paths := []map[world.ASN][]world.ASN{
+		{100: {10, 999, 100}, 200: {10, 999, 50, 200}},
+		{100: {20, 100}, 200: {20, 999, 200}},
+		{100: {20, 999, 100}},
+	}
+	comp := NewComputer(bgp.ReplayPaths(monitors, paths))
+
+	geo := fakeGeo{
+		addr:  map[world.ASN][]uint64{100: {256}, 200: {512}},
+		total: 768,
+	}
+	scores := comp.Country("C", []world.ASN{100, 200},
+		func(o world.ASN) int { return len(geo.addr[o]) }, geo)
+
+	got := map[world.ASN]float64{}
+	for _, s := range scores {
+		got[s.AS] = s.Value
+	}
+	want := map[world.ASN]float64{
+		999: 7.0 / 18.0,
+		50:  2.0 / 9.0,
+	}
+	for as, w := range want {
+		if math.Abs(got[as]-w) > 1e-12 {
+			t.Errorf("CTI(AS%d) = %.12f, want %.12f", as, got[as], w)
+		}
+	}
+	// Origins themselves and monitor ASes must not score.
+	for _, as := range []world.ASN{100, 200, 10, 20} {
+		if _, scored := got[as]; scored {
+			t.Errorf("AS%d should not receive a transit score", as)
+		}
+	}
+	// Ranking: 999 > 50.
+	if len(scores) != 2 || scores[0].AS != 999 {
+		t.Errorf("ranking wrong: %+v", scores)
+	}
+}
+
+// TestGoldenMonitorInsideAS checks the "monitor not contained within AS"
+// clause: a hop equal to the monitor's own AS contributes nothing.
+func TestGoldenMonitorInsideAS(t *testing.T) {
+	monitors := []bgp.Monitor{{ID: "m0", AS: 999}}
+	paths := []map[world.ASN][]world.ASN{
+		// AS999 appears as both the monitor AS and a transit hop.
+		{100: {999, 50, 100}},
+	}
+	comp := NewComputer(bgp.ReplayPaths(monitors, paths))
+	geo := fakeGeo{addr: map[world.ASN][]uint64{100: {256}}, total: 256}
+	scores := comp.Country("C", []world.ASN{100},
+		func(o world.ASN) int { return 1 }, geo)
+	for _, s := range scores {
+		if s.AS == 999 {
+			t.Errorf("monitor's own AS scored %.6f", s.Value)
+		}
+	}
+	// AS50 at d=1 with the full address space: CTI = 1·1·(1·1/1) = 1.
+	if len(scores) != 1 || scores[0].AS != 50 || math.Abs(scores[0].Value-1) > 1e-12 {
+		t.Errorf("scores = %+v, want AS50 at exactly 1.0", scores)
+	}
+}

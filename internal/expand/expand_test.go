@@ -1,0 +1,167 @@
+package expand
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"stateowned/internal/as2org"
+	"stateowned/internal/candidates"
+	"stateowned/internal/confirm"
+	"stateowned/internal/docsrc"
+	"stateowned/internal/whois"
+	"stateowned/internal/world"
+)
+
+var (
+	testW = world.Generate(world.Config{Seed: 7, Scale: 0.1})
+	reg   = whois.Build(testW)
+	m     = as2org.Infer(reg)
+)
+
+func confirmedFixture(t *testing.T) *confirm.Result {
+	t.Helper()
+	telenor, _ := testW.OperatorOfAS(2119)
+	optus, _ := testW.OperatorOfAS(7474)
+	return &confirm.Result{
+		Confirmed: []confirm.Confirmed{
+			{
+				Company: candidates.Company{
+					Name: telenor.LegalName, Country: "NO",
+					ASNs:    []world.ASN{2119}, // siblings come from expansion
+					Sources: candidates.SourceSet(0).Add(candidates.SrcGeo).Add(candidates.SrcWiki),
+				},
+				Owner: "NO", Share: 0.547, Source: docsrc.CompanyWebsite,
+				Quote: "Major Shareholdings: Government of Norway (54,7%)",
+				Lang:  "English", URL: "https://example.no",
+			},
+			{
+				Company: candidates.Company{
+					Name: optus.LegalName, Country: "AU", ASNs: optus.ASNs,
+					Sources: candidates.SourceSet(0).Add(candidates.SrcEyeballs),
+				},
+				Owner: "SG", Source: docsrc.AnnualReport,
+				ForeignSubsidiary: true, ParentName: "Singapore Telecommunications Limited",
+			},
+		},
+		Minority: []confirm.Minority{
+			{
+				Company: candidates.Company{Name: "Deutsche Telekom AG", Country: "DE", ASNs: []world.ASN{3320}},
+				Owner:   "DE", Share: 0.31,
+			},
+		},
+	}
+}
+
+func TestSiblingExpansion(t *testing.T) {
+	ds := Run(confirmedFixture(t), m, Options{})
+	if len(ds.Organizations) != 2 {
+		t.Fatalf("organizations = %d", len(ds.Organizations))
+	}
+	// Telenor entered with one ASN; expansion must add its clustered
+	// siblings (2119 shares an org with several of 8210... per WHOIS).
+	telenorASNs := ds.ASNs[indexOf(t, ds, "NO")].ASNs
+	if len(telenorASNs) < 2 {
+		t.Errorf("sibling expansion added nothing: %v", telenorASNs)
+	}
+	// Disabling expansion keeps only the direct ASN.
+	ds2 := Run(confirmedFixture(t), m, Options{DisableSiblingExpansion: true})
+	if n := len(ds2.ASNs[indexOf(t, ds2, "NO")].ASNs); n != 1 {
+		t.Errorf("no-expansion ASNs = %d, want 1", n)
+	}
+}
+
+func indexOf(t *testing.T, ds *Dataset, ownCC string) int {
+	t.Helper()
+	for i := range ds.Organizations {
+		if ds.Organizations[i].OwnershipCC == ownCC {
+			return i
+		}
+	}
+	t.Fatalf("no organization owned by %s", ownCC)
+	return -1
+}
+
+func TestForeignSubsidiaryFields(t *testing.T) {
+	ds := Run(confirmedFixture(t), m, Options{})
+	i := indexOf(t, ds, "SG")
+	org := ds.Organizations[i]
+	if !org.IsForeignSubsidiary() {
+		t.Fatal("Optus not marked foreign")
+	}
+	if org.TargetCC != "AU" || org.TargetCountryName != "Australia" {
+		t.Errorf("target = %s/%s", org.TargetCC, org.TargetCountryName)
+	}
+	if org.OperatingCountry() != "AU" {
+		t.Errorf("operating country = %s", org.OperatingCountry())
+	}
+	if org.ParentOrg == "" {
+		t.Error("parent_org empty")
+	}
+	if org.RIR != "APNIC" {
+		t.Errorf("RIR = %s, want APNIC (operating country)", org.RIR)
+	}
+	if ds.NumForeignSubsidiaryASNs() == 0 {
+		t.Error("foreign ASN count zero")
+	}
+}
+
+func TestNoDoubleClaim(t *testing.T) {
+	// Two confirmed companies resolving to overlapping ASNs must not
+	// both own an AS.
+	res := confirmedFixture(t)
+	dup := res.Confirmed[0]
+	dup.Company.Name = "Telenor (duplicate record)"
+	res.Confirmed = append(res.Confirmed, dup)
+	ds := Run(res, m, Options{})
+	seen := map[world.ASN]bool{}
+	for _, oa := range ds.ASNs {
+		for _, a := range oa.ASNs {
+			if seen[a] {
+				t.Fatalf("AS%d claimed twice", a)
+			}
+			seen[a] = true
+		}
+	}
+	// The duplicate ended up with zero unclaimed ASNs and must be absent.
+	if len(ds.Organizations) != 2 {
+		t.Errorf("organizations = %d, want 2 (duplicate dropped)", len(ds.Organizations))
+	}
+}
+
+func TestInputsRoundTrip(t *testing.T) {
+	ds := Run(confirmedFixture(t), m, Options{})
+	i := indexOf(t, ds, "NO")
+	ss := ds.InputsOf(i)
+	if !ss.Has(candidates.SrcGeo) || !ss.Has(candidates.SrcWiki) || ss.Has(candidates.SrcOrbis) {
+		t.Errorf("inputs = %v", ds.Organizations[i].Inputs)
+	}
+}
+
+func TestExportImport(t *testing.T) {
+	ds := Run(confirmedFixture(t), m, Options{})
+	var buf bytes.Buffer
+	if err := ds.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"minority_state_owned"`) {
+		t.Error("minority extension missing from export")
+	}
+	back, err := Import(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Organizations) != len(ds.Organizations) || len(back.Minority) != 1 {
+		t.Error("round trip lost records")
+	}
+}
+
+func TestImportRejectsMisaligned(t *testing.T) {
+	bad := `{"organizations":[{"org_id":"X"}],"asns":[]}`
+	if _, err := Import(strings.NewReader(bad)); err == nil {
+		t.Error("misaligned dataset accepted")
+	}
+	if _, err := Import(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+}

@@ -1,0 +1,163 @@
+// Package geo simulates a commercial country-level IP geolocation service
+// (the paper uses Digital Element's NetAcuity). Every routed prefix is
+// assigned a country; assignments are correct with a per-country accuracy
+// drawn from the 74-98% band the paper's footnote 3 cites for NetAcuity
+// at country granularity, with errors biased toward neighboring countries
+// in the same region (the dominant real-world failure mode).
+package geo
+
+import (
+	"sort"
+
+	"stateowned/internal/ccodes"
+	"stateowned/internal/netaddr"
+	"stateowned/internal/rng"
+	"stateowned/internal/world"
+)
+
+// DB is a frozen geolocation snapshot for one world.
+type DB struct {
+	// loc[prefix] = assigned country
+	loc map[netaddr.Prefix]string
+	// perOrigin[origin][country] = addresses the DB places there
+	perOrigin map[world.ASN]map[string]uint64
+	// prefixCountry[origin][i] = assigned country of origin's i-th prefix
+	prefixCountry map[world.ASN][]string
+	// prefixAddrs[origin][i] = address count of origin's i-th prefix
+	prefixAddrs map[world.ASN][]uint64
+	totals      map[string]uint64
+	accuracy    map[string]float64
+}
+
+// Build geolocates every prefix of the world.
+func Build(w *world.World) *DB {
+	r := rng.New(w.Seed).Sub("geo")
+	db := &DB{
+		loc:           make(map[netaddr.Prefix]string),
+		perOrigin:     make(map[world.ASN]map[string]uint64),
+		prefixCountry: make(map[world.ASN][]string),
+		prefixAddrs:   make(map[world.ASN][]uint64),
+		totals:        make(map[string]uint64),
+		accuracy:      make(map[string]float64),
+	}
+
+	// Per-country accuracy in [0.74, 0.98], higher for mature ecosystems
+	// (better registry data to mine).
+	neighbors := make(map[string][]string)
+	for _, cc := range w.Countries {
+		c := ccodes.MustByCode(cc)
+		prof := w.Profiles[cc]
+		db.accuracy[cc] = 0.74 + 0.24*prof.ICT
+		for _, o := range ccodes.InRegion(c.Region) {
+			if o.Code != cc {
+				neighbors[cc] = append(neighbors[cc], o.Code)
+			}
+		}
+		sort.Strings(neighbors[cc])
+	}
+
+	for _, asn := range w.ASNList {
+		a := w.ASes[asn]
+		cr := r.Sub("as/" + a.Name)
+		for _, p := range a.Prefixes {
+			truth := a.Country
+			assigned := truth
+			if !cr.Bool(db.accuracy[truth]) {
+				if nb := neighbors[truth]; len(nb) > 0 && len(w.Countries) > 1 {
+					assigned = nb[cr.Intn(len(nb))]
+					if _, inWorld := w.Profiles[assigned]; !inWorld {
+						assigned = truth
+					}
+				}
+			}
+			db.loc[p] = assigned
+			db.prefixCountry[asn] = append(db.prefixCountry[asn], assigned)
+			db.prefixAddrs[asn] = append(db.prefixAddrs[asn], p.NumAddresses())
+			po := db.perOrigin[asn]
+			if po == nil {
+				po = make(map[string]uint64)
+				db.perOrigin[asn] = po
+			}
+			po[assigned] += p.NumAddresses()
+			db.totals[assigned] += p.NumAddresses()
+		}
+	}
+	return db
+}
+
+// Locate returns the assigned country of a prefix ("" if unknown).
+func (d *DB) Locate(p netaddr.Prefix) string { return d.loc[p] }
+
+// Accuracy returns the simulated accuracy for a country's prefixes.
+func (d *DB) Accuracy(cc string) float64 { return d.accuracy[cc] }
+
+// Triplet is the paper's §4.1 unit: <origin ASN, country, #addresses the
+// origin originates in that country (per this DB)>.
+type Triplet struct {
+	Origin    world.ASN
+	Country   string
+	Addresses uint64
+}
+
+// Triplets returns all nonzero triplets, sorted by (country, -addresses,
+// origin) for stable consumption.
+func (d *DB) Triplets() []Triplet {
+	var out []Triplet
+	for origin, per := range d.perOrigin {
+		for cc, n := range per {
+			out = append(out, Triplet{origin, cc, n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Country != out[j].Country {
+			return out[i].Country < out[j].Country
+		}
+		if out[i].Addresses != out[j].Addresses {
+			return out[i].Addresses > out[j].Addresses
+		}
+		return out[i].Origin < out[j].Origin
+	})
+	return out
+}
+
+// AddressesIn implements cti.PrefixGeo: a(p, C) for origin's idx-th
+// prefix. All of a prefix's addresses count toward its assigned country
+// (the simulator assigns whole prefixes and originates disjoint ones, so
+// no more-specific carve-outs apply).
+func (d *DB) AddressesIn(origin world.ASN, idx int, country string) uint64 {
+	cs := d.prefixCountry[origin]
+	if idx >= len(cs) || cs[idx] != country {
+		return 0
+	}
+	return d.prefixAddrs[origin][idx]
+}
+
+// NumPrefixes returns how many prefixes the origin announces (per the DB).
+func (d *DB) NumPrefixes(origin world.ASN) int { return len(d.prefixAddrs[origin]) }
+
+// OriginAddressesIn returns how many addresses the origin originates that
+// this DB geolocates to the country.
+func (d *DB) OriginAddressesIn(origin world.ASN, country string) uint64 {
+	return d.perOrigin[origin][country]
+}
+
+// TotalIn returns A(C): the country's geolocated address total.
+func (d *DB) TotalIn(country string) uint64 { return d.totals[country] }
+
+// CountryOrigins returns the origins with any address space geolocated to
+// the country, sorted by descending address count.
+func (d *DB) CountryOrigins(country string) []Triplet {
+	var out []Triplet
+	for origin, per := range d.perOrigin {
+		if n := per[country]; n > 0 {
+			out = append(out, Triplet{origin, country, n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Addresses != out[j].Addresses {
+			return out[i].Addresses > out[j].Addresses
+		}
+		return out[i].Origin < out[j].Origin
+	})
+	return out
+}

@@ -1,0 +1,55 @@
+package nameutil
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzSimilarity checks the similarity metric's contract on arbitrary
+// inputs: bounded, symmetric, and reflexive for non-empty normalized
+// names — the properties the pipeline's matching logic relies on.
+func FuzzSimilarity(f *testing.F) {
+	seeds := [][2]string{
+		{"Telenor Norge AS", "Telenor"},
+		{"Ooredoo Q.S.C", "Ooredoo Tunisie"},
+		{"", ""},
+		{"S.A.", "AS"},
+		{"日本電信電話", "NTT"},
+		{"a", "b"},
+		{"   ", "\t\n"},
+		{"Très Télécom", "Tres Telecom"},
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1])
+	}
+	f.Fuzz(func(t *testing.T, a, b string) {
+		if !utf8.ValidString(a) || !utf8.ValidString(b) {
+			return
+		}
+		sab := Similarity(a, b)
+		if sab < 0 || sab > 1 {
+			t.Fatalf("Similarity(%q,%q) = %v out of [0,1]", a, b, sab)
+		}
+		if sba := Similarity(b, a); sab != sba {
+			t.Fatalf("asymmetric: %v vs %v for %q/%q", sab, sba, a, b)
+		}
+		if Normalize(a) != "" && Similarity(a, a) != 1 {
+			t.Fatalf("non-reflexive for %q", a)
+		}
+	})
+}
+
+// FuzzTokens checks the normalizer never panics and produces no empty
+// tokens.
+func FuzzTokens(f *testing.F) {
+	for _, s := range []string{"PT Telekomunikasi Indonesia Tbk", "Q.S.C", "a.b.c", "...", "ÆØÅ A/S"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		for _, tok := range Tokens(s) {
+			if tok == "" {
+				t.Fatalf("empty token from %q", s)
+			}
+		}
+	})
+}

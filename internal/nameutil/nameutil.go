@@ -1,0 +1,308 @@
+// Package nameutil implements the company-name normalization and fuzzy
+// matching the pipeline's AS-to-company mapping stage relies on (§4.2 of
+// the paper).
+//
+// WHOIS records carry legal names ("Transamerican Telecomunication S.A."),
+// PeeringDB carries brand names ("Internexa"), and documentary sources use
+// yet other variants. Matching across them requires stripping legal-form
+// suffixes, normalizing case/punctuation/diacritics, and scoring partial
+// matches with token-set and Jaro–Winkler similarity.
+package nameutil
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// legalSuffixes lists corporate legal-form tokens that are dropped during
+// normalization. The set spans the jurisdictions that appear in the paper
+// (S.A., AS, Berhad, PJSC, ...) plus common English forms.
+var legalSuffixes = map[string]bool{
+	"inc": true, "incorporated": true, "corp": true, "corporation": true,
+	"co": true, "company": true, "ltd": true, "limited": true, "llc": true,
+	"plc": true, "gmbh": true, "ag": true, "sa": true, "sas": true,
+	"sarl": true, "srl": true, "spa": true, "bv": true, "nv": true,
+	"as": true, "asa": true, "ab": true, "oy": true, "oyj": true,
+	"aps": true, "jsc": true, "ojsc": true, "pjsc": true, "cjsc": true,
+	"pt": true, "tbk": true, "persero": true, "berhad": true, "bhd": true,
+	"sdn": true, "pte": true, "pvt": true, "pty": true, "kk": true,
+	"sae": true, "saoc": true, "saog": true, "psc": true, "qsc": true,
+	"jllc": true, "ooo": true, "pao": true, "zao": true, "ead": true,
+	"doo": true, "dd": true, "ad": true, "sp": true, "zoo": true,
+	"group": true, "holding": true, "holdings": true, "intl": true,
+	"international": true,
+}
+
+// genericTokens are words so common in operator names that they carry
+// little identity signal; they are kept in normalization output but
+// down-weighted by TokenSetSimilarity.
+var genericTokens = map[string]bool{
+	"telecom": true, "telecommunications": true, "telekom": true,
+	"telecomunicaciones": true, "telecomunication": true, "telco": true,
+	"communications": true, "comm": true, "net": true, "networks": true,
+	"network": true, "internet": true, "broadband": true, "cable": true,
+	"mobile": true, "wireless": true, "digital": true, "data": true,
+	"services": true, "national": true, "global": true, "the": true,
+	"of": true, "and": true, "de": true, "du": true, "la": true,
+}
+
+// foldRune maps accented Latin letters onto their ASCII base so that
+// "Telecomunicación" and "Telecomunicacion" normalize identically.
+func foldRune(r rune) rune {
+	switch r {
+	case 'á', 'à', 'â', 'ä', 'ã', 'å':
+		return 'a'
+	case 'é', 'è', 'ê', 'ë':
+		return 'e'
+	case 'í', 'ì', 'î', 'ï':
+		return 'i'
+	case 'ó', 'ò', 'ô', 'ö', 'õ', 'ø':
+		return 'o'
+	case 'ú', 'ù', 'û', 'ü':
+		return 'u'
+	case 'ñ':
+		return 'n'
+	case 'ç':
+		return 'c'
+	case 'ş', 'š', 'ś':
+		return 's'
+	case 'ž', 'ź', 'ż':
+		return 'z'
+	case 'ć', 'č':
+		return 'c'
+	case 'ğ':
+		return 'g'
+	case 'ı':
+		return 'i'
+	case 'ð':
+		return 'd'
+	case 'þ':
+		return 't'
+	case 'æ':
+		return 'a'
+	case 'œ':
+		return 'o'
+	case 'ß':
+		return 's'
+	}
+	return r
+}
+
+// Tokens splits a raw name into normalized tokens: lower-cased, diacritics
+// folded, punctuation removed, and trailing legal-form suffixes dropped.
+func Tokens(name string) []string {
+	lower := strings.ToLower(name)
+	var b strings.Builder
+	for _, r := range lower {
+		r = foldRune(r)
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(r)
+		default:
+			b.WriteByte(' ')
+		}
+	}
+	fields := strings.Fields(b.String())
+	// Collapse runs of single-letter tokens produced by dotted
+	// abbreviations: "S.A." -> "sa", "Q.S.C" -> "qsc". Without this the
+	// suffix-stripping below cannot recognize dotted legal forms.
+	collapsed := fields[:0]
+	for i := 0; i < len(fields); {
+		if len(fields[i]) == 1 {
+			j := i
+			var run strings.Builder
+			for j < len(fields) && len(fields[j]) == 1 {
+				run.WriteString(fields[j])
+				j++
+			}
+			if j-i > 1 {
+				collapsed = append(collapsed, run.String())
+				i = j
+				continue
+			}
+		}
+		collapsed = append(collapsed, fields[i])
+		i++
+	}
+	fields = collapsed
+	// Drop legal suffixes from the tail only: "AS" at the end of
+	// "Telenor Norge AS" is a legal form; "AS" elsewhere could be a name.
+	for len(fields) > 1 && legalSuffixes[fields[len(fields)-1]] {
+		fields = fields[:len(fields)-1]
+	}
+	return fields
+}
+
+// Normalize returns the canonical single-string form of a name: its
+// normalized tokens joined by single spaces.
+func Normalize(name string) string { return strings.Join(Tokens(name), " ") }
+
+// TokenSetSimilarity scores two names in [0,1] by weighted token overlap.
+// Distinctive tokens weigh 1.0; generic industry tokens weigh 0.25. Two
+// names with no distinctive overlap score near zero even if both contain
+// "telecom".
+func TokenSetSimilarity(a, b string) float64 {
+	ta, tb := Tokens(a), Tokens(b)
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	weight := func(tok string) float64 {
+		if genericTokens[tok] {
+			return 0.25
+		}
+		return 1.0
+	}
+	setA := make(map[string]bool, len(ta))
+	for _, t := range ta {
+		setA[t] = true
+	}
+	setB := make(map[string]bool, len(tb))
+	for _, t := range tb {
+		setB[t] = true
+	}
+	var inter, wA, wB float64
+	for t := range setA {
+		if setB[t] {
+			inter += weight(t)
+		}
+		wA += weight(t)
+	}
+	for t := range setB {
+		wB += weight(t)
+	}
+	union := wA + wB - inter
+	if union == 0 {
+		return 0
+	}
+	jaccard := inter / union
+	// Containment handles brand-vs-legal asymmetry: "Optus" is fully
+	// contained in "SingTel Optus Pty Limited". Discounted so that exact
+	// matches still rank above containments.
+	minW := wA
+	if wB < minW {
+		minW = wB
+	}
+	containment := 0.0
+	if minW > 0 {
+		containment = 0.8 * inter / minW
+	}
+	if containment > jaccard {
+		return containment
+	}
+	return jaccard
+}
+
+// Jaro computes the Jaro similarity of two strings in [0,1].
+func Jaro(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	la, lb := len(a), len(b)
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := la
+	if lb > window {
+		window = lb
+	}
+	window = window/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchA := make([]bool, la)
+	matchB := make([]bool, lb)
+	var matches int
+	for i := 0; i < la; i++ {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > lb {
+			hi = lb
+		}
+		for j := lo; j < hi; j++ {
+			if matchB[j] || a[i] != b[j] {
+				continue
+			}
+			matchA[i], matchB[j] = true, true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	var transpositions, k int
+	for i := 0; i < la; i++ {
+		if !matchA[i] {
+			continue
+		}
+		for !matchB[k] {
+			k++
+		}
+		if a[i] != b[k] {
+			transpositions++
+		}
+		k++
+	}
+	m := float64(matches)
+	t := float64(transpositions) / 2
+	return (m/float64(la) + m/float64(lb) + (m-t)/m) / 3
+}
+
+// JaroWinkler boosts Jaro similarity for strings sharing a common prefix,
+// which suits brand names that differ only in suffix ("Ooredoo" vs
+// "Ooredoo Tunisie").
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	prefix := 0
+	for prefix < len(a) && prefix < len(b) && a[prefix] == b[prefix] && prefix < 4 {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+// Similarity is the pipeline's combined name-match score: the maximum of
+// the token-set score and the Jaro–Winkler score of the normalized forms.
+// Token-set handles word reordering and legal suffixes; Jaro–Winkler
+// handles small spelling variants.
+func Similarity(a, b string) float64 {
+	na, nb := Normalize(a), Normalize(b)
+	if na == "" || nb == "" {
+		return 0
+	}
+	ts := TokenSetSimilarity(a, b)
+	jw := JaroWinkler(na, nb)
+	if ts > jw {
+		return ts
+	}
+	return jw
+}
+
+// BestMatch returns the index of the candidate most similar to the query
+// and its score, or (-1, 0) on an empty candidate list. Ties break toward
+// the lexicographically smaller normalized candidate for determinism.
+func BestMatch(query string, candidates []string) (int, float64) {
+	best, bestScore := -1, 0.0
+	type scored struct {
+		idx   int
+		score float64
+		norm  string
+	}
+	all := make([]scored, 0, len(candidates))
+	for i, c := range candidates {
+		all = append(all, scored{i, Similarity(query, c), Normalize(c)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return all[i].norm < all[j].norm
+	})
+	if len(all) > 0 {
+		best, bestScore = all[0].idx, all[0].score
+	}
+	return best, bestScore
+}

@@ -1,0 +1,163 @@
+package orbis
+
+import (
+	"testing"
+
+	"stateowned/internal/world"
+)
+
+var (
+	testW  = world.Generate(world.Config{Seed: 7, Scale: 0.1})
+	testDB = Build(testW)
+)
+
+func qualityCounts(t *testing.T) (fp, fn, tp int) {
+	t.Helper()
+	labeled := map[string]bool{}
+	for _, e := range testDB.StateOwnedTelecoms() {
+		if e.OperatorID != "" {
+			labeled[e.OperatorID] = true
+		}
+	}
+	for _, id := range testW.OperatorIDs {
+		op := testW.Operators[id]
+		if !op.Kind.InScope() {
+			continue
+		}
+		truth := testW.Graph.ControlOf(op.Entity).Controlled()
+		switch {
+		case truth && labeled[id]:
+			tp++
+		case truth && !labeled[id]:
+			fn++
+		case !truth && labeled[id] && op.Kind.InScope():
+			fp++
+		}
+	}
+	// Municipal FPs (subnational) count too.
+	for _, id := range testW.OperatorIDs {
+		op := testW.Operators[id]
+		if op.Kind == world.KindMunicipal && labeled[id] {
+			fp++
+		}
+	}
+	return fp, fn, tp
+}
+
+func TestQualityRegime(t *testing.T) {
+	fp, fn, tp := qualityCounts(t)
+	t.Logf("Orbis quality: TP=%d FP=%d FN=%d (paper: FP=12 FN=140)", tp, fp, fn)
+	if tp == 0 {
+		t.Fatal("Orbis finds no true state-owned operators")
+	}
+	if fn == 0 {
+		t.Error("Orbis has no false negatives; §7's key finding is absent")
+	}
+	if fp == 0 {
+		t.Error("Orbis has no false positives")
+	}
+	if fn < tp/4 {
+		t.Errorf("FN=%d too low relative to TP=%d: developing-world gap missing", fn, tp)
+	}
+}
+
+func TestCOMCELPlanted(t *testing.T) {
+	var e Entry
+	ok := false
+	for _, cand := range testDB.StateOwnedTelecoms() {
+		if cand.OperatorID != "" {
+			if op, _ := testW.Operator(cand.OperatorID); op != nil && op.BrandName == "Comunicacion Celular de Colombia" {
+				e, ok = cand, true
+			}
+		}
+	}
+	if !ok {
+		t.Fatal("COMCEL missing from Orbis state-owned query")
+	}
+	if !e.StateOwned {
+		t.Error("COMCEL must be mislabeled state-owned (the paper's FP case)")
+	}
+	op, _ := testW.Operator(e.OperatorID)
+	if testW.Graph.ControlOf(op.Entity).Controlled() {
+		t.Error("COMCEL ground truth should be private")
+	}
+}
+
+func TestFillerEntriesPresent(t *testing.T) {
+	fillers := 0
+	for _, e := range testDB.StateOwnedTelecoms() {
+		if e.OperatorID == "" {
+			if e.Sector == SectorISP {
+				t.Fatalf("filler with ISP sector: %+v", e)
+			}
+			fillers++
+		}
+	}
+	if fillers < 100 {
+		t.Errorf("only %d filler rows; the paper's query noise (~700 non-ISPs) is missing", fillers)
+	}
+}
+
+func TestQuerySizeRegime(t *testing.T) {
+	n := len(testDB.StateOwnedTelecoms())
+	// Paper: 994 companies. Same order of magnitude expected.
+	if n < 300 || n > 2500 {
+		t.Errorf("query returned %d rows, want hundreds-to-low-thousands", n)
+	}
+}
+
+func TestLACNICGap(t *testing.T) {
+	// Orbis must miss most LACNIC state telcos (11 of 14 countries in
+	// the paper).
+	labeled := map[string]bool{}
+	for _, e := range testDB.StateOwnedTelecoms() {
+		if e.OperatorID != "" {
+			labeled[e.OperatorID] = true
+		}
+	}
+	var missedCountries, totalCountries int
+	seen := map[string]bool{}
+	for _, id := range testW.OperatorIDs {
+		op := testW.Operators[id]
+		if !op.Kind.InScope() || seen[op.Country] {
+			continue
+		}
+		c := testW.Graph.ControlOf(op.Entity)
+		if !c.Controlled() || c.Controller != op.Country {
+			continue
+		}
+		prof := testW.Profiles[op.Country]
+		_ = prof
+		if rirOf(op.Country) != "LACNIC" {
+			continue
+		}
+		seen[op.Country] = true
+		totalCountries++
+		// Does any state operator of this country carry the label?
+		found := false
+		for _, op2 := range testW.OperatorsIn(op.Country) {
+			if labeled[op2.ID] {
+				found = true
+			}
+		}
+		if !found {
+			missedCountries++
+		}
+	}
+	if totalCountries == 0 {
+		t.Skip("no LACNIC state countries in this world")
+	}
+	if frac := float64(missedCountries) / float64(totalCountries); frac < 0.4 {
+		t.Errorf("Orbis misses only %.2f of LACNIC state countries; paper missed 11/14", frac)
+	}
+}
+
+func rirOf(cc string) string {
+	switch cc {
+	case "AR", "BB", "BO", "BR", "BZ", "CL", "CO", "CR", "CU", "DO", "EC",
+		"GT", "GY", "HN", "HT", "MX", "NI", "PA", "PE", "PY", "SR", "SV",
+		"TT", "UY", "VE":
+		return "LACNIC"
+	}
+	return "other"
+}

@@ -1,0 +1,209 @@
+// Package report renders the reproduction's tables and figures as plain
+// text. Every experiment regenerator (cmd/experiments, the benches, the
+// examples) goes through this package so that output formatting is uniform
+// and diffable across runs.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows reports how many rows have been added.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// WriteTo renders the table.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", len(t.Title)))
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_, _ = t.WriteTo(&b)
+	return b.String()
+}
+
+// Histogram renders a labeled horizontal bar chart, the textual stand-in
+// for the paper's Figure 4 histograms.
+type Histogram struct {
+	Title  string
+	labels []string
+	values []float64
+	notes  []string
+}
+
+// NewHistogram creates an empty histogram.
+func NewHistogram(title string) *Histogram { return &Histogram{Title: title} }
+
+// AddBar appends one bar with an optional note rendered after the count.
+func (h *Histogram) AddBar(label string, value float64, note string) {
+	h.labels = append(h.labels, label)
+	h.values = append(h.values, value)
+	h.notes = append(h.notes, note)
+}
+
+// String renders the histogram with bars scaled to maxWidth=40 characters.
+func (h *Histogram) String() string {
+	const maxWidth = 40
+	var b strings.Builder
+	if h.Title != "" {
+		fmt.Fprintf(&b, "%s\n%s\n", h.Title, strings.Repeat("=", len(h.Title)))
+	}
+	var max float64
+	for _, v := range h.values {
+		if v > max {
+			max = v
+		}
+	}
+	labelW := 0
+	for _, l := range h.labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	for i, l := range h.labels {
+		bar := 0
+		if max > 0 {
+			bar = int(h.values[i] / max * maxWidth)
+		}
+		if h.values[i] > 0 && bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "%-*s | %-*s %g", labelW, l, maxWidth, strings.Repeat("#", bar), h.values[i])
+		if h.notes[i] != "" {
+			fmt.Fprintf(&b, "  (%s)", h.notes[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// VennRegion is one region of a Venn diagram: the set of source labels the
+// region belongs to and the count of elements exclusive to that region.
+type VennRegion struct {
+	Members []string
+	Count   int
+}
+
+// RenderVenn prints Venn regions sorted by descending count, skipping empty
+// regions, in the "bitmask: count" style of the paper's Figure 7.
+func RenderVenn(title string, order []string, regions []VennRegion) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(&b, "sources (bit order): %s\n", strings.Join(order, ", "))
+	idx := make(map[string]int, len(order))
+	for i, s := range order {
+		idx[s] = i
+	}
+	type row struct {
+		bits  string
+		names string
+		count int
+	}
+	rows := make([]row, 0, len(regions))
+	for _, r := range regions {
+		if r.Count == 0 {
+			continue
+		}
+		bits := make([]byte, len(order))
+		for i := range bits {
+			bits[i] = '0'
+		}
+		for _, m := range r.Members {
+			if i, ok := idx[m]; ok {
+				bits[i] = '1'
+			}
+		}
+		rows = append(rows, row{string(bits), strings.Join(r.Members, "+"), r.Count})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].count != rows[j].count {
+			return rows[i].count > rows[j].count
+		}
+		return rows[i].bits < rows[j].bits
+	})
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %s  %4d  %s\n", r.bits, r.count, r.names)
+	}
+	return b.String()
+}
+
+// Series renders an (x, y) series as "x y" lines for figures like the
+// paper's Figure 5 cone-growth plot.
+func Series(title string, xs []string, ys []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	for i := range xs {
+		fmt.Fprintf(&b, "  %-8s %.1f\n", xs[i], ys[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "AS", "Country", "Cone")
+	tb.AddRow(7473, "SG", 4235)
+	tb.AddRow(12389, "RU", 3778)
+	out := tb.String()
+	if !strings.Contains(out, "Demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "7473") || !strings.Contains(out, "3778") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title + rule + header + sep + 2 rows
+		t.Errorf("unexpected line count %d:\n%s", len(lines), out)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(0.123456)
+	if !strings.Contains(tb.String(), "0.12") {
+		t.Errorf("float not formatted:\n%s", tb.String())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram("Footprint")
+	h.AddBar("0.0-0.1", 28, "ARIN-heavy")
+	h.AddBar("0.9-1.0", 13, "")
+	h.AddBar("empty", 0, "")
+	out := h.String()
+	if !strings.Contains(out, "#") {
+		t.Error("no bars rendered")
+	}
+	if !strings.Contains(out, "ARIN-heavy") {
+		t.Error("note dropped")
+	}
+	// A nonzero value must render at least one hash even when tiny.
+	h2 := NewHistogram("")
+	h2.AddBar("big", 10000, "")
+	h2.AddBar("small", 1, "")
+	if strings.Count(strings.Split(h2.String(), "\n")[1], "#") < 1 {
+		t.Error("tiny nonzero bar invisible")
+	}
+}
+
+func TestRenderVenn(t *testing.T) {
+	out := RenderVenn("Sources", []string{"G", "E", "O"}, []VennRegion{
+		{Members: []string{"G", "E", "O"}, Count: 193},
+		{Members: []string{"G"}, Count: 22},
+		{Members: []string{"E"}, Count: 0}, // skipped
+	})
+	if !strings.Contains(out, "111   193") {
+		t.Errorf("missing full-overlap region:\n%s", out)
+	}
+	if !strings.Contains(out, "100    22") {
+		t.Errorf("missing singleton region:\n%s", out)
+	}
+	if strings.Contains(out, "010") {
+		t.Errorf("empty region rendered:\n%s", out)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	out := Series("Cone", []string{"'10", "'11"}, []float64{100, 250})
+	if !strings.Contains(out, "'10") || !strings.Contains(out, "250.0") {
+		t.Errorf("series malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,115 @@
+package world
+
+import (
+	"testing"
+	"testing/quick"
+
+	"stateowned/internal/ccodes"
+	"stateowned/internal/rng"
+)
+
+func TestPrefixSizes(t *testing.T) {
+	cases := []struct {
+		total uint64
+		min   uint64 // minimum covered addresses
+	}{
+		{256, 256},
+		{300, 256},
+		{65536, 65536},
+		{1 << 20, 1 << 20},
+		{100, 256}, // below a /24: still gets one /24
+	}
+	for _, tc := range cases {
+		sizes := prefixSizes(tc.total)
+		if len(sizes) == 0 || len(sizes) > 12 {
+			t.Fatalf("prefixSizes(%d) length %d", tc.total, len(sizes))
+		}
+		var covered uint64
+		for _, bits := range sizes {
+			if bits < 6 || bits > 24 {
+				t.Fatalf("prefixSizes(%d) yields /%d outside [6,24]", tc.total, bits)
+			}
+			covered += uint64(1) << (32 - uint(bits))
+		}
+		if covered < tc.min {
+			t.Errorf("prefixSizes(%d) covers %d, want >= %d", tc.total, covered, tc.min)
+		}
+	}
+}
+
+// Property: the greedy decomposition never overshoots by more than the
+// smallest block except for the sub-/24 floor.
+func TestPrefixSizesProperty(t *testing.T) {
+	f := func(raw uint32) bool {
+		total := uint64(raw)%(1<<26) + 256
+		var covered uint64
+		for _, bits := range prefixSizes(total) {
+			covered += uint64(1) << (32 - uint(bits))
+		}
+		// Greedy never exceeds total (blocks are chosen <= remaining),
+		// and with 12 blocks it reaches at least half of any total in
+		// range (the largest block alone covers >= total/2).
+		return covered <= total && covered >= total/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProfileInvariants(t *testing.T) {
+	r := rng.New(5)
+	for _, c := range ccodes.All() {
+		p := buildProfile(r.Sub("t/"+c.Code), c)
+		if p.ICT < 0.10 || p.ICT > 0.98 {
+			t.Errorf("%s ICT %.3f out of range", c.Code, p.ICT)
+		}
+		if p.InternetUsers < 500 {
+			t.Errorf("%s users %d below floor", c.Code, p.InternetUsers)
+		}
+		if p.AddressBudget < 8192 {
+			t.Errorf("%s budget %d below floor", c.Code, p.AddressBudget)
+		}
+		if p.GatewayConcentrated && !p.TransitDominated {
+			t.Errorf("%s concentrated but not transit-dominated", c.Code)
+		}
+	}
+}
+
+func TestICTOverridesApplied(t *testing.T) {
+	r := rng.New(5)
+	jp := buildProfile(r.Sub("jp"), ccodes.MustByCode("JP"))
+	cn := buildProfile(r.Sub("cn"), ccodes.MustByCode("CN"))
+	if jp.ICT < 0.85 {
+		t.Errorf("Japan ICT %.3f, override not applied", jp.ICT)
+	}
+	if cn.ICT > 0.70 {
+		t.Errorf("China ICT %.3f, override not applied", cn.ICT)
+	}
+}
+
+func TestBrandStemUniqueness(t *testing.T) {
+	// uniqueName must prevent same-country brand collisions; verify on
+	// the generated world: no two operators of a country share a brand.
+	w := Generate(Config{Seed: 31, Scale: 0.08})
+	seen := map[string]string{}
+	for _, id := range w.OperatorIDs {
+		op := w.Operators[id]
+		key := op.Country + "/" + op.BrandName
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("brand %q duplicated in %s by %s and %s", op.BrandName, op.Country, prev, id)
+		}
+		seen[key] = id
+	}
+}
+
+func TestStateShareDrawRange(t *testing.T) {
+	r := rng.New(9)
+	for i := 0; i < 5000; i++ {
+		if s := stateShareDraw(r); s < 0.50 || s > 1.0 {
+			t.Fatalf("state share %.3f outside [0.5, 1]", s)
+		}
+		if s := incumbentShareDraw(r); s < 0.15 || s > 0.95 {
+			t.Fatalf("incumbent share %.3f outside [0.15, 0.95]", s)
+		}
+	}
+}

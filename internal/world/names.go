@@ -1,0 +1,195 @@
+package world
+
+import (
+	"fmt"
+	"strings"
+
+	"stateowned/internal/ccodes"
+	"stateowned/internal/rng"
+)
+
+// Name generation for synthetic operators. Real operator names mix
+// country references, generic telecom words and invented brands; the
+// pipeline's name-matching must cope with all three, so the generator
+// produces all three.
+
+var brandSyllables = []string{
+	"net", "tel", "com", "fi", "lu", "vo", "za", "ri", "ko", "da",
+	"mi", "sa", "to", "ve", "no", "li", "ra", "be", "ax", "or",
+	"qu", "in", "ex", "ul", "an", "el", "os", "ur", "ix", "ap",
+}
+
+// brandName invents a pronounceable brand of 2-3 syllables.
+func brandName(r *rng.Stream) string {
+	n := 2 + r.Intn(2)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteString(brandSyllables[r.Intn(len(brandSyllables))])
+	}
+	s := b.String()
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+// shortCountry derives the name fragment operators use: "Norway" ->
+// "Norway", "United Arab Emirates" -> "Emirates", etc.
+func shortCountry(c ccodes.Country) string {
+	name := c.Name
+	for _, prefix := range []string{"United ", "Republic of ", "DR "} {
+		name = strings.TrimPrefix(name, prefix)
+	}
+	if i := strings.IndexByte(name, ' '); i > 0 && len(name) > 14 {
+		name = name[:i]
+	}
+	return name
+}
+
+// incumbentName generates a plausible national-incumbent brand.
+func incumbentName(r *rng.Stream, c ccodes.Country) string {
+	s := shortCountry(c)
+	switch r.Intn(6) {
+	case 0:
+		return s + " Telecom"
+	case 1:
+		return "Telecom " + s
+	case 2:
+		return s + " Telecommunications"
+	case 3:
+		return "Tele" + strings.ToLower(s[:min(4, len(s))])
+	case 4:
+		return s + "Tel"
+	default:
+		return "National Telecom of " + s
+	}
+}
+
+// mobileName generates a mobile-operator brand.
+func mobileName(r *rng.Stream, c ccodes.Country) string {
+	s := shortCountry(c)
+	switch r.Intn(5) {
+	case 0:
+		return "Mobi" + strings.ToLower(s[:min(3, len(s))])
+	case 1:
+		return s + " Mobile"
+	case 2:
+		return brandName(r) + " Cell"
+	case 3:
+		return "AirLink " + s
+	default:
+		return brandName(r) + " Mobile"
+	}
+}
+
+// regionalISPName generates a competitive-ISP brand.
+func regionalISPName(r *rng.Stream, c ccodes.Country) string {
+	switch r.Intn(5) {
+	case 0:
+		return brandName(r) + "Net"
+	case 1:
+		return brandName(r) + " Broadband"
+	case 2:
+		return "Fiber" + brandName(r)
+	case 3:
+		return brandName(r) + " Online"
+	default:
+		return brandName(r) + " Internet"
+	}
+}
+
+// transitName generates a wholesale/backbone brand.
+func transitName(r *rng.Stream, c ccodes.Country) string {
+	s := shortCountry(c)
+	switch r.Intn(4) {
+	case 0:
+		return s + " Backbone"
+	case 1:
+		return brandName(r) + " Carrier"
+	case 2:
+		return s + " IX Transit"
+	default:
+		return brandName(r) + " Wholesale"
+	}
+}
+
+// excludedName generates names for out-of-scope organizations.
+func excludedName(r *rng.Stream, c ccodes.Country, kind OperatorKind) string {
+	s := shortCountry(c)
+	switch kind {
+	case KindAcademic:
+		if r.Bool(0.5) {
+			return s + " Research and Education Network"
+		}
+		return "National University of " + s
+	case KindGovernmentNet:
+		if r.Bool(0.5) {
+			return "Government of " + s + " IT Directorate"
+		}
+		return s + " Federal Network Agency"
+	case KindInternetAdmin:
+		return "NIC " + s
+	case KindMunicipal:
+		return brandName(r) + " Municipal Broadband"
+	default:
+		return brandName(r) + " " + pick(r, "Hosting", "Datacenter", "Systems", "Cloud", "Media")
+	}
+}
+
+func pick(r *rng.Stream, xs ...string) string { return xs[r.Intn(len(xs))] }
+
+// legalSuffix returns a jurisdiction-plausible legal-form suffix.
+func legalSuffix(r *rng.Stream, c ccodes.Country) string {
+	var forms []string
+	switch c.RIR {
+	case ccodes.RIPE:
+		forms = []string{"AS", "AB", "A/S", "GmbH", "S.p.A.", "PJSC", "JSC", "B.V.", "S.A.", "Ltd"}
+	case ccodes.LACNIC:
+		forms = []string{"S.A.", "S.A. de C.V.", "Ltda", "S.R.L."}
+	case ccodes.APNIC:
+		forms = []string{"Berhad", "Pte Ltd", "Co Ltd", "Limited", "Pty Ltd", "JSC"}
+	case ccodes.AFRINIC:
+		forms = []string{"S.A.", "Ltd", "SAE", "Limited", "PLC"}
+	default:
+		forms = []string{"Inc.", "LLC", "Corp.", "Ltd"}
+	}
+	return forms[r.Intn(len(forms))]
+}
+
+// legalName builds the registered legal name from a brand.
+func legalName(r *rng.Stream, brand string, c ccodes.Country) string {
+	return brand + " " + legalSuffix(r, c)
+}
+
+// asName builds the registry AS name. Real AS names range from clean
+// ("TELENOR-AS") to cryptic legacy strings, and sibling ASes frequently
+// carry unrelated names — the failure mode AS2Org inherits.
+func asName(r *rng.Stream, brand, country string, sibling int) string {
+	up := strings.ToUpper(strings.ReplaceAll(strings.Fields(brand)[0], "'", ""))
+	if len(up) > 10 {
+		up = up[:10]
+	}
+	switch {
+	case sibling == 0:
+		return fmt.Sprintf("%s-AS-%s", up, country)
+	case r.Bool(0.5):
+		return fmt.Sprintf("%s-AS%d", up, sibling+1)
+	default:
+		// Cryptic legacy sibling name unrelated to the brand.
+		return fmt.Sprintf("%s-NET-%s", strings.ToUpper(brandName(r)), country)
+	}
+}
+
+// orgID builds a registry org handle in the RIR's style. seq guarantees
+// global uniqueness, which real registries enforce for org handles.
+func orgID(brand string, seq int, rir ccodes.RIR) string {
+	up := strings.ToUpper(strings.ReplaceAll(strings.Fields(brand)[0], "'", ""))
+	if len(up) > 4 {
+		up = up[:4]
+	}
+	return fmt.Sprintf("ORG-%s%d-%s", up, seq, rir)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,117 @@
+package world
+
+import (
+	"stateowned/internal/ccodes"
+	"stateowned/internal/rng"
+)
+
+// Region priors. The paper's headline geography — state ownership "much
+// more prevalent in Africa and Asia", essentially absent in ARIN — enters
+// the simulation here as the probability that a country's incumbent is
+// majority state-owned.
+var stateOwnershipPrior = map[ccodes.Region]float64{
+	ccodes.Africa:       0.78,
+	ccodes.Asia:         0.68,
+	ccodes.Europe:       0.42,
+	ccodes.LatinAmerica: 0.42,
+	ccodes.Oceania:      0.50,
+	ccodes.NorthAmerica: 0.04,
+}
+
+// ictBase models digital-ecosystem maturity per region; it drives document
+// availability, WHOIS freshness, PeeringDB coverage and stub-AS counts.
+var ictBase = map[ccodes.Region]float64{
+	ccodes.Africa:       0.35,
+	ccodes.Asia:         0.58,
+	ccodes.Europe:       0.85,
+	ccodes.LatinAmerica: 0.58,
+	ccodes.Oceania:      0.55,
+	ccodes.NorthAmerica: 0.93,
+}
+
+// ictOverride pins countries whose digital ecosystems sit far from their
+// region's average — developed Asia-Pacific and the Gulf above it, a few
+// below. Without these, China would dominate APNIC's address space and
+// flip the paper's §8 regional ordering (AFRINIC's domestic state share
+// is the largest of all regions).
+var ictOverride = map[string]float64{
+	"JP": 0.92, "KR": 0.93, "SG": 0.93, "HK": 0.90, "TW": 0.88,
+	"AU": 0.90, "NZ": 0.88, "IL": 0.88, "MO": 0.80,
+	"AE": 0.85, "QA": 0.84, "KW": 0.78, "BH": 0.80, "SA": 0.72,
+	"CY": 0.75, "MT": 0.78, "EE": 0.85,
+	"CN": 0.62, "MY": 0.70, "TH": 0.62, "TR": 0.68, "KZ": 0.62,
+	"RU": 0.76, "CL": 0.72, "UY": 0.74, "AR": 0.68, "BR": 0.65,
+	"MX": 0.62, "CR": 0.68, "ZA": 0.60, "MU": 0.62, "SC": 0.60,
+	"IN": 0.48, "ID": 0.52, "PK": 0.42, "BD": 0.40, "MM": 0.32,
+	"AF": 0.22, "YE": 0.22, "SY": 0.28, "KP": 0.12,
+}
+
+// forcedTransitDominated lists countries the CTI work (Gamero-Garrido's
+// dissertation, which the paper applies in 75 countries) infers as
+// transit-dominated without being single-gateway: much of Latin America,
+// where the paper's CTI source surfaced the state transit builders
+// (ARSAT, Telebras, Internexa).
+var forcedTransitDominated = map[string]bool{
+	"AR": true, "BR": true, "CO": true, "UY": true, "PY": true,
+	"BO": true, "EC": true, "PE": true, "VE": true, "CR": true,
+}
+
+// forcedGatewayConcentrated lists countries the paper's narrative ties to
+// single-gateway international connectivity (Syria's AS29386, Cuba's
+// ETECSA, the Belarusian exchange ASes, ...).
+var forcedGatewayConcentrated = map[string]bool{
+	"SY": true, "BY": true, "CU": true, "BD": true, "VN": true,
+	"ET": true, "ER": true, "TM": true, "DJ": true, "AO": true,
+	"IR": true, "YE": true, "LY": true, "SD": true, "TD": true,
+	"NE": true, "ML": true, "MR": true, "BF": true, "UZ": true,
+}
+
+// buildProfile derives a country's simulation profile.
+func buildProfile(r *rng.Stream, c ccodes.Country) *CountryProfile {
+	var ict float64
+	if base, ok := ictOverride[c.Code]; ok {
+		ict = base + r.Norm(0, 0.03)
+	} else {
+		ict = ictBase[c.Region] + r.Norm(0, 0.10)
+	}
+	if ict < 0.10 {
+		ict = 0.10
+	}
+	if ict > 0.98 {
+		ict = 0.98
+	}
+	// Internet penetration grows with ICT maturity.
+	penetration := 0.15 + 0.75*ict
+	users := int(float64(c.Population) * 1000 * penetration)
+	if users < 500 {
+		users = 500
+	}
+	// Announced address space scales with online population, with a
+	// legacy-allocation premium for mature ecosystems (early adopters
+	// hold disproportionate v4 space) and a large extra multiplier for
+	// the US, which announces huge, largely-unused legacy blocks
+	// (§7: excluding the US raises the state-owned share from 17% to 25%).
+	// Addresses per user rise steeply with maturity: late adopters live
+	// behind CGNAT on small allocations while early adopters hold legacy
+	// space — which is also why state-heavy developing regions originate
+	// a modest share of the global table despite dominating their home
+	// markets.
+	perUser := 0.015 + 0.40*ict*ict*ict
+	budget := uint64(float64(users) * perUser)
+	if c.Code == "US" {
+		budget *= 5
+	}
+	if budget < 8192 {
+		budget = 8192
+	}
+	concentrated := forcedGatewayConcentrated[c.Code] || r.Bool(0.18-0.15*ict)
+	transit := concentrated || forcedTransitDominated[c.Code] || r.Bool(0.72-0.6*ict)
+	return &CountryProfile{
+		Code:                c.Code,
+		ICT:                 ict,
+		AddressBudget:       budget,
+		InternetUsers:       users,
+		TransitDominated:    transit,
+		GatewayConcentrated: concentrated,
+	}
+}

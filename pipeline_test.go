@@ -1,0 +1,229 @@
+package stateowned
+
+import (
+	"bytes"
+	"testing"
+
+	"stateowned/internal/expand"
+	"stateowned/internal/world"
+)
+
+// testRes runs the full pipeline once on a reduced world shared by every
+// test in this file.
+var testRes = Run(Config{Seed: 7, Scale: 0.12})
+
+func datasetOwnership(t *testing.T) (precision, recall float64, tp, fp, fn int) {
+	t.Helper()
+	w := testRes.World
+	inDataset := map[world.ASN]string{}
+	for i := range testRes.Dataset.Organizations {
+		for _, a := range testRes.Dataset.ASNs[i].ASNs {
+			inDataset[a] = testRes.Dataset.Organizations[i].OwnershipCC
+		}
+	}
+	for _, asn := range w.ASNList {
+		truthOwner, truth := w.TrueStateOwnedAS(asn)
+		_, got := inDataset[asn]
+		switch {
+		case truth && got:
+			tp++
+			_ = truthOwner
+		case truth && !got:
+			fn++
+		case !truth && got:
+			fp++
+		}
+	}
+	if tp+fp > 0 {
+		precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		recall = float64(tp) / float64(tp+fn)
+	}
+	return
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	ds := testRes.Dataset
+	if len(ds.Organizations) == 0 {
+		t.Fatal("empty dataset")
+	}
+	if len(ds.Organizations) != len(ds.ASNs) {
+		t.Fatal("organizations and ASN groups misaligned")
+	}
+	precision, recall, tp, fp, fn := datasetOwnership(t)
+	t.Logf("dataset: %d orgs, %d ASNs; precision=%.3f recall=%.3f (tp=%d fp=%d fn=%d)",
+		len(ds.Organizations), len(ds.AllASNs()), precision, recall, tp, fp, fn)
+	// The paper's expert validation found no false positives; the
+	// mechanized analyst should be near-perfect on precision and
+	// substantially below 1.0 on recall (visibility limits, §9).
+	if precision < 0.95 {
+		t.Errorf("precision %.3f below 0.95", precision)
+	}
+	if recall < 0.45 {
+		t.Errorf("recall %.3f implausibly low", recall)
+	}
+	if recall > 0.995 {
+		t.Errorf("recall %.3f implausibly perfect; coverage limits not modeled", recall)
+	}
+}
+
+func TestAnchorsRecovered(t *testing.T) {
+	got := map[world.ASN]bool{}
+	for _, a := range testRes.Dataset.AllASNs() {
+		got[a] = true
+	}
+	// The paper's marquee operators must be found.
+	for _, asn := range []world.ASN{2119, 7473, 4134, 12389, 11960, 6057, 24757} {
+		if !got[asn] {
+			t.Errorf("anchor AS%d missing from dataset", asn)
+		}
+	}
+}
+
+func TestDecoysExcluded(t *testing.T) {
+	inDataset := map[world.ASN]bool{}
+	for _, a := range testRes.Dataset.AllASNs() {
+		inDataset[a] = true
+	}
+	cases := map[world.ASN]string{
+		3320:  "Deutsche Telekom (31% minority)",
+		5511:  "Orange (23% minority)",
+		1299:  "Telia (39.5% minority)",
+		9498:  "Bharti Airtel (SingTel 35.1% foreign minority)",
+		1273:  "Vodafone (private, state-sounding history)",
+		37662: "WIOCC (consortium below 50%)",
+		26611: "COMCEL (Orbis false positive)",
+		9241:  "", // Vodafone Fiji IS state-owned; placeholder to keep map non-trivial
+	}
+	delete(cases, 9241)
+	for asn, why := range cases {
+		if inDataset[asn] {
+			t.Errorf("AS%d should be excluded: %s", asn, why)
+		}
+	}
+	// The misleading-name case cuts the other way: Vodafone Fiji is
+	// nationalized and must be IN.
+	if !inDataset[9241] {
+		t.Error("Vodafone Fiji (ATH) missing despite being state-owned")
+	}
+}
+
+func TestForeignSubsidiariesFound(t *testing.T) {
+	subs := testRes.Dataset.NumForeignSubsidiaryASNs()
+	if subs == 0 {
+		t.Fatal("no foreign subsidiary ASNs found")
+	}
+	// Optus must be attributed to Singapore.
+	for i, org := range testRes.Dataset.Organizations {
+		for _, a := range testRes.Dataset.ASNs[i].ASNs {
+			if a == 7474 {
+				if org.OwnershipCC != "SG" || org.TargetCC != "AU" {
+					t.Errorf("Optus record: owner=%s target=%s", org.OwnershipCC, org.TargetCC)
+				}
+				return
+			}
+		}
+	}
+	t.Error("Optus (AS7474) not in dataset")
+}
+
+func TestMinorityBookkeeping(t *testing.T) {
+	if len(testRes.Dataset.Minority) == 0 {
+		t.Fatal("no minority records")
+	}
+	found := false
+	for _, m := range testRes.Dataset.Minority {
+		if m.CC == "DE" && m.Share > 0.30 && m.Share < 0.32 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Deutsche Telekom minority stake not recorded")
+	}
+}
+
+func TestDatasetJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testRes.Dataset.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := expand.Import(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Organizations) != len(testRes.Dataset.Organizations) {
+		t.Fatal("round trip changed organization count")
+	}
+	if len(back.AllASNs()) != len(testRes.Dataset.AllASNs()) {
+		t.Fatal("round trip changed ASN count")
+	}
+}
+
+func TestListingOneSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testRes.Dataset.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{
+		`"conglomerate_name"`, `"org_id"`, `"org_name"`, `"ownership_cc"`,
+		`"ownership_country_name"`, `"rir"`, `"source"`, `"quote"`,
+		`"quote_lang"`, `"url"`, `"additional_info"`, `"inputs"`, `"asn"`,
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(field)) {
+			t.Errorf("exported JSON misses Listing-1 field %s", field)
+		}
+	}
+}
+
+func TestCTIUniqueContribution(t *testing.T) {
+	// Table 7: some ASes must be discoverable only through CTI.
+	perSrc := testRes.Candidates.PerSourceASes
+	others := map[world.ASN]bool{}
+	for _, a := range perSrc[0] { // SrcGeo
+		others[a] = true
+	}
+	for _, a := range perSrc[1] { // SrcEyeballs
+		others[a] = true
+	}
+	unique := 0
+	for _, a := range perSrc[2] { // SrcCTI
+		if !others[a] {
+			unique++
+		}
+	}
+	if unique == 0 {
+		t.Error("CTI contributes no unique ASes; Table 7's finding is absent")
+	}
+}
+
+func TestNoASNCompaniesDocumented(t *testing.T) {
+	// Some confirmed-state companies have no mappable ASN (the China
+	// Telecom Brazil case) — they must land in Excluded with the right
+	// verdict, not silently vanish.
+	n := 0
+	for _, e := range testRes.Confirmation.Excluded {
+		if e.Verdict.String() == "no-asn" {
+			n++
+		}
+	}
+	if n == 0 {
+		t.Error("no 'no ASN found' exclusions recorded")
+	}
+}
+
+func TestDeterministicRun(t *testing.T) {
+	r2 := Run(Config{Seed: 7, Scale: 0.12})
+	if len(r2.Dataset.Organizations) != len(testRes.Dataset.Organizations) {
+		t.Fatal("dataset size differs across identical runs")
+	}
+	a, b := testRes.Dataset.AllASNs(), r2.Dataset.AllASNs()
+	if len(a) != len(b) {
+		t.Fatal("ASN set size differs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("ASN sets differ across identical runs")
+		}
+	}
+}
