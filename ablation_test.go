@@ -1,0 +1,118 @@
+package stateowned
+
+import (
+	"testing"
+
+	"stateowned/internal/candidates"
+)
+
+// ablationRun executes one small-scale pipeline with a single source
+// switched off.
+func ablationRun(mod func(*Config)) *Result {
+	cfg := Config{Seed: 7, Scale: 0.08}
+	mod(&cfg)
+	return Run(cfg)
+}
+
+// assertNoProvenance fails if any dataset organization still credits the
+// disabled source in its input list.
+func assertNoProvenance(t *testing.T, res *Result, src candidates.Source) {
+	t.Helper()
+	for i, org := range res.Dataset.Organizations {
+		if res.Dataset.InputsOf(i).Has(src) {
+			t.Errorf("org %q credits disabled source %s (inputs %v)",
+				org.OrgName, src.Letter(), org.Inputs)
+		}
+	}
+}
+
+// TestAblationDisableGeo runs end-to-end without the geolocation source:
+// no geo candidates, no geo provenance anywhere in the dataset.
+func TestAblationDisableGeo(t *testing.T) {
+	res := ablationRun(func(c *Config) { c.DisableGeo = true })
+	if n := len(res.Candidates.PerSourceASes[candidates.SrcGeo]); n != 0 {
+		t.Errorf("geo disabled but %d geo candidate ASes", n)
+	}
+	if res.Candidates.Stats.GeoASes != 0 {
+		t.Errorf("geo disabled but Stats.GeoASes = %d", res.Candidates.Stats.GeoASes)
+	}
+	assertNoProvenance(t, res, candidates.SrcGeo)
+}
+
+// TestAblationDisableEyeballs runs end-to-end without the eyeball source.
+func TestAblationDisableEyeballs(t *testing.T) {
+	res := ablationRun(func(c *Config) { c.DisableEyeballs = true })
+	if n := len(res.Candidates.PerSourceASes[candidates.SrcEyeballs]); n != 0 {
+		t.Errorf("eyeballs disabled but %d eyeball candidate ASes", n)
+	}
+	if res.Candidates.Stats.EyeballASes != 0 {
+		t.Errorf("eyeballs disabled but Stats.EyeballASes = %d", res.Candidates.Stats.EyeballASes)
+	}
+	assertNoProvenance(t, res, candidates.SrcEyeballs)
+}
+
+// TestAblationDisableCTI runs end-to-end without the transit-influence
+// source: no monitors selected, no CTI candidates, no CTI provenance.
+func TestAblationDisableCTI(t *testing.T) {
+	res := ablationRun(func(c *Config) { c.DisableCTI = true })
+	if len(res.Monitors) != 0 {
+		t.Errorf("CTI disabled but %d monitors selected", len(res.Monitors))
+	}
+	if len(res.CTITop) != 0 {
+		t.Errorf("CTI disabled but CTITop has %d countries", len(res.CTITop))
+	}
+	if n := len(res.Candidates.PerSourceASes[candidates.SrcCTI]); n != 0 {
+		t.Errorf("CTI disabled but %d CTI candidate ASes", n)
+	}
+	assertNoProvenance(t, res, candidates.SrcCTI)
+}
+
+// TestAblationDisableOrbis runs end-to-end without the Orbis source.
+func TestAblationDisableOrbis(t *testing.T) {
+	res := ablationRun(func(c *Config) { c.DisableOrbis = true })
+	if res.Candidates.Stats.OrbisCompanies != 0 {
+		t.Errorf("orbis disabled but Stats.OrbisCompanies = %d", res.Candidates.Stats.OrbisCompanies)
+	}
+	for _, co := range res.Candidates.Companies {
+		if co.Sources.Has(candidates.SrcOrbis) {
+			t.Errorf("orbis disabled but candidate %q credits it", co.Name)
+		}
+	}
+	assertNoProvenance(t, res, candidates.SrcOrbis)
+}
+
+// TestAblationDisableWikiFH runs end-to-end without the Wikipedia +
+// Freedom House listings.
+func TestAblationDisableWikiFH(t *testing.T) {
+	res := ablationRun(func(c *Config) { c.DisableWikiFH = true })
+	if res.Candidates.Stats.WikiFHCompanies != 0 {
+		t.Errorf("wiki/FH disabled but Stats.WikiFHCompanies = %d", res.Candidates.Stats.WikiFHCompanies)
+	}
+	for _, co := range res.Candidates.Companies {
+		if co.Sources.Has(candidates.SrcWiki) {
+			t.Errorf("wiki/FH disabled but candidate %q credits it", co.Name)
+		}
+	}
+	assertNoProvenance(t, res, candidates.SrcWiki)
+}
+
+// TestAblationDisableSiblings switches off stage-3 AS2Org expansion: the
+// dataset must never grow relative to the expanded baseline.
+func TestAblationDisableSiblings(t *testing.T) {
+	baseline := ablationRun(func(*Config) {})
+	res := ablationRun(func(c *Config) { c.DisableSiblings = true })
+	count := func(r *Result) int {
+		n := 0
+		for _, oa := range r.Dataset.ASNs {
+			n += len(oa.ASNs)
+		}
+		return n
+	}
+	nb, na := count(baseline), count(res)
+	if na > nb {
+		t.Errorf("sibling expansion disabled yet dataset grew: %d ASNs vs baseline %d", na, nb)
+	}
+	if na == 0 {
+		t.Error("sibling ablation produced an empty dataset")
+	}
+}

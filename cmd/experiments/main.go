@@ -4,10 +4,13 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-scale F] [-only section[,section...]]
+//	experiments [-seed N] [-scale F] [-only section[,section...]] [-chaos-seed N]
 //
 // Sections: stage1, headline, figure1, figure3, figure4, figure5,
-// figure6, figure7, table1..table8, orbis, score. Default: all.
+// figure6, figure7, table1..table8, rirshares, appendixE, orbis, score,
+// robustness. Default: all except robustness — the degradation-curve
+// sweep reruns the whole pipeline at six fault severities, so it only
+// runs when selected explicitly.
 package main
 
 import (
@@ -27,8 +30,14 @@ func main() {
 	seed := flag.Uint64("seed", 42, "world seed")
 	scale := flag.Float64("scale", 1.0, "world scale (stub-AS multiplier)")
 	only := flag.String("only", "", "comma-separated list of sections (default: all)")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "fault-plan seed for the robustness sweep (0 = derive from -seed)")
 	csvDir := flag.String("csv", "", "also write figure data as CSV files into this directory")
 	flag.Parse()
+
+	if *scale <= 0 {
+		fmt.Fprintln(os.Stderr, "experiments: invalid -scale: must be > 0")
+		os.Exit(2)
+	}
 
 	want := map[string]bool{}
 	for _, s := range strings.Split(*only, ",") {
@@ -36,11 +45,19 @@ func main() {
 			want[s] = true
 		}
 	}
-	sel := func(name string) bool { return len(want) == 0 || want[name] }
+	// The robustness sweep is opt-in: it reruns the full pipeline once per
+	// severity and would multiply the default invocation's cost.
+	sel := func(name string) bool {
+		if name == "robustness" {
+			return want[name]
+		}
+		return len(want) == 0 || want[name]
+	}
 
-	fmt.Fprintf(os.Stderr, "running pipeline (seed=%d scale=%.2f)...\n", *seed, *scale)
-	res := stateowned.Run(stateowned.Config{Seed: *seed, Scale: *scale})
-	d := res.AnalysisData()
+	// res and d are assigned after section-name validation; the closures
+	// below capture the variables, not their (still nil) values.
+	var res *stateowned.Result
+	var d *analysis.Data
 
 	type section struct {
 		name   string
@@ -75,7 +92,28 @@ func main() {
 		{"appendixE", func() string { return analysis.RenderAppendixE(analysis.ComputeAppendixE(d)) }},
 		{"orbis", func() string { return analysis.RenderOrbisAudit(analysis.ComputeOrbisAudit(d, res.Orbis)) }},
 		{"score", func() string { return renderScores(d) }},
+		{"robustness", func() string { return renderRobustness(*seed, *scale, *chaosSeed, res) }},
 	}
+	known := map[string]bool{}
+	for _, s := range sections {
+		known[s.name] = true
+	}
+	for name := range want {
+		if !known[name] {
+			names := make([]string, 0, len(sections))
+			for _, s := range sections {
+				names = append(names, s.name)
+			}
+			fmt.Fprintf(os.Stderr, "experiments: unknown -only section %q (valid: %s)\n",
+				name, strings.Join(names, ", "))
+			os.Exit(2)
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "running pipeline (seed=%d scale=%.2f)...\n", *seed, *scale)
+	res = stateowned.Run(stateowned.Config{Seed: *seed, Scale: *scale})
+	d = res.AnalysisData()
+
 	for _, s := range sections {
 		if !sel(s.name) {
 			continue
@@ -133,6 +171,38 @@ func renderStage1(res *stateowned.Result) string {
 	t.AddRow("Wikipedia+FH company mentions", st.WikiFHCompanies, "-")
 	t.AddRow("merged candidate companies", st.CandidateCompanys, "~1500 (thousands examined)")
 	return t.String()
+}
+
+// robustnessSeverities is the degradation-curve sweep: severity 0 reuses
+// the baseline run already in hand, every other point is a fresh full
+// pipeline run under the corresponding fault plan.
+var robustnessSeverities = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
+
+func renderRobustness(seed uint64, scale float64, chaosSeed uint64, baseline *stateowned.Result) string {
+	pts := make([]analysis.DegradationPoint, 0, len(robustnessSeverities))
+	for _, sev := range robustnessSeverities {
+		res := baseline
+		if sev > 0 {
+			fmt.Fprintf(os.Stderr, "running chaos pipeline (severity=%.2f)...\n", sev)
+			res = stateowned.Run(stateowned.Config{
+				Seed: seed, Scale: scale, ChaosSeverity: sev, ChaosSeed: chaosSeed,
+			})
+		}
+		s := analysis.ComputeScore(res.AnalysisData(), nil)
+		h := res.Health
+		pts = append(pts, analysis.DegradationPoint{
+			Severity:           sev,
+			Precision:          s.Precision,
+			Recall:             s.Recall,
+			StateASes:          len(res.Dataset.AllASNs()),
+			DegradedSources:    len(h.DegradedSources()),
+			UnavailableSources: len(h.UnavailableSources()),
+			Quarantined:        h.Quarantined(),
+			Dropped:            h.Dropped(),
+			Retries:            h.Retries(),
+		})
+	}
+	return analysis.RenderDegradation(pts)
 }
 
 func renderScores(d *analysis.Data) string {

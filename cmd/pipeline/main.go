@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	pipeline [-seed N] [-scale F] [-o dataset.json]
+//	pipeline [-seed N] [-scale F] [-monitors N] [-chaos F] [-chaos-seed N] [-o dataset.json]
+//
+// With -chaos > 0 the run executes under a seeded fault plan (monitor
+// outages, registry record loss and corruption, Orbis timeouts, missing
+// documents) and prints the hardened runner's health report.
 package main
 
 import (
@@ -21,10 +25,29 @@ func main() {
 	log.SetPrefix("pipeline: ")
 	seed := flag.Uint64("seed", 42, "world seed")
 	scale := flag.Float64("scale", 1.0, "world scale")
+	monitors := flag.Int("monitors", 0, "BGP vantage-point count (0 = default 60)")
+	chaos := flag.Float64("chaos", 0, "fault-injection severity in [0,1] (0 = off)")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "fault-plan seed (0 = derive from -seed)")
 	out := flag.String("o", "dataset.json", "output path for the dataset JSON")
 	flag.Parse()
 
-	res := stateowned.Run(stateowned.Config{Seed: *seed, Scale: *scale})
+	if *scale <= 0 {
+		log.Println("invalid -scale: must be > 0")
+		os.Exit(2)
+	}
+	if *monitors < 0 {
+		log.Println("invalid -monitors: must be >= 0")
+		os.Exit(2)
+	}
+	if *chaos < 0 || *chaos > 1 {
+		log.Println("invalid -chaos: severity must be in [0,1]")
+		os.Exit(2)
+	}
+
+	res := stateowned.Run(stateowned.Config{
+		Seed: *seed, Scale: *scale, Monitors: *monitors,
+		ChaosSeverity: *chaos, ChaosSeed: *chaosSeed,
+	})
 
 	st := res.Candidates.Stats
 	fmt.Printf("stage 1: %d technical candidate ASes (%d orgs), %d Orbis rows, %d Wikipedia+FH mentions -> %d candidate companies\n",
@@ -43,6 +66,10 @@ func main() {
 	ds := res.Dataset
 	fmt.Printf("stage 3: %d organizations, %d state-owned ASNs (%d foreign-subsidiary), %d minority records\n",
 		len(ds.Organizations), len(ds.AllASNs()), ds.NumForeignSubsidiaryASNs(), len(ds.Minority))
+
+	if *chaos > 0 {
+		fmt.Printf("\n%s\n", res.Health.Render())
+	}
 
 	f, err := os.Create(*out)
 	if err != nil {

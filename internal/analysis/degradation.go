@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"stateowned/internal/report"
+)
+
+// DegradationPoint is one sample of the chaos degradation curve: the
+// pipeline's score and health counters at a given fault severity.
+type DegradationPoint struct {
+	Severity  float64
+	Precision float64
+	Recall    float64
+	StateASes int
+
+	DegradedSources    int
+	UnavailableSources int
+	Quarantined        int
+	Dropped            int
+	Retries            int
+}
+
+// RenderDegradation formats a severity sweep: the per-point table plus
+// precision/recall sparklines showing the decay shape at a glance.
+func RenderDegradation(pts []DegradationPoint) string {
+	t := report.NewTable("Degradation curve (chaos severity sweep)",
+		"severity", "precision", "recall", "state ASes",
+		"degraded", "unavail", "quarantined", "dropped", "retries")
+	prec := make([]float64, len(pts))
+	rec := make([]float64, len(pts))
+	for i, p := range pts {
+		prec[i] = p.Precision
+		rec[i] = p.Recall
+		t.AddRow(fmt.Sprintf("%.2f", p.Severity),
+			fmt.Sprintf("%.3f", p.Precision), fmt.Sprintf("%.3f", p.Recall),
+			p.StateASes, p.DegradedSources, p.UnavailableSources,
+			p.Quarantined, p.Dropped, p.Retries)
+	}
+	var b strings.Builder
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "  precision %s\n  recall    %s\n",
+		report.Sparkline(prec), report.Sparkline(rec))
+	return b.String()
+}

@@ -104,6 +104,22 @@ func SelectMonitors(w *world.World, g *topology.Graph, n int) []Monitor {
 	return out
 }
 
+// ApplyOutages filters the monitor set through an outage predicate —
+// collector sessions that went dark contribute no paths. The surviving
+// monitors keep their IDs so multi-monitor AS weighting stays correct,
+// and the dark count feeds the run's health report.
+func ApplyOutages(monitors []Monitor, down func(Monitor) bool) (up []Monitor, dark int) {
+	up = make([]Monitor, 0, len(monitors))
+	for _, m := range monitors {
+		if down(m) {
+			dark++
+			continue
+		}
+		up = append(up, m)
+	}
+	return up, dark
+}
+
 func monitorID(i int) string {
 	return "rrc" + string(rune('0'+i/10)) + string(rune('0'+i%10))
 }

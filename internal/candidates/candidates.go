@@ -16,6 +16,7 @@
 package candidates
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 
@@ -259,7 +260,11 @@ func Run(in Inputs) *Result {
 	}
 	orgGroups := map[string]*orgAgg{}
 	for _, a := range all {
-		orgID := "asn-only"
+		// An AS with no AS2Org organization (its WHOIS record is missing
+		// or was quarantined) stands alone: pooling org-less ASes into one
+		// shared group would weld unrelated operators into a single
+		// pseudo-company.
+		orgID := fmt.Sprintf("asn-only/%d", a)
 		if org, ok := in.AS2Org.OrgOf(a); ok {
 			orgID = org.ID
 		}
@@ -282,6 +287,13 @@ func Run(in Inputs) *Result {
 		g := orgGroups[orgID]
 		sort.Slice(g.asns, func(i, j int) bool { return g.asns[i] < g.asns[j] })
 		name, nameSrc, country := mapASToCompany(in, g.asns[0])
+		if name == "" {
+			// No registry, PeeringDB or web-search name at all: stage 2
+			// has nothing to confirm against, and an unnamed candidate
+			// would match documents promiscuously. The AS stays counted in
+			// the technical stats but produces no company candidate.
+			continue
+		}
 		companies = append(companies, Company{
 			Name: name, NameSource: nameSrc, Country: country,
 			Sources: g.ss, ASNs: g.asns, OrgIDs: []string{orgID},

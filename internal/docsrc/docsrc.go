@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"stateowned/internal/ccodes"
+	"stateowned/internal/faults"
 	"stateowned/internal/nameutil"
 	"stateowned/internal/ownership"
 	"stateowned/internal/rng"
@@ -152,13 +153,65 @@ func Build(w *world.World) *Corpus {
 		c.emitCompanyDocs(w, op, children[op.ID], or)
 	}
 	c.buildListings(w, r.Sub("listings"))
+	c.reindex()
+	return c
+}
 
+// reindex rebuilds the by-operator and normalized-name indices from the
+// docs slice (after Build, and again after degradation removes docs).
+func (c *Corpus) reindex() {
+	c.byOp = make(map[string][]int)
+	c.names = c.names[:0]
 	for i, d := range c.docs {
 		c.byOp[d.OperatorID] = append(c.byOp[d.OperatorID], i)
 		c.names = append(c.names, nameutil.Normalize(d.CompanyName))
-		_ = i
 	}
-	return c
+}
+
+// Degrade injects documentary coverage loss: individual documents go
+// missing (dead links, delisted reports), and entries vanish from the
+// Freedom House / Wikipedia country listings. There is no corruption
+// channel — a document that cannot be retrieved simply never confirms
+// anything, which is exactly how the paper experienced coverage holes.
+func (c *Corpus) Degrade(in *faults.Injector) faults.Damage {
+	kept := c.docs[:0]
+	for _, d := range c.docs {
+		if in.Next() == faults.Drop {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	c.docs = kept
+	c.reindex()
+
+	degradeListings := func(m map[string]CountryListing) {
+		ccs := make([]string, 0, len(m))
+		for cc := range m {
+			ccs = append(ccs, cc)
+		}
+		sort.Strings(ccs)
+		for _, cc := range ccs {
+			l := m[cc]
+			var names []string
+			var ids []string
+			for i, name := range l.Companies {
+				if in.Next() == faults.Drop {
+					continue
+				}
+				names = append(names, name)
+				ids = append(ids, l.OperatorIDs[i])
+			}
+			if len(names) == 0 {
+				delete(m, cc)
+				continue
+			}
+			l.Companies, l.OperatorIDs = names, ids
+			m[cc] = l
+		}
+	}
+	degradeListings(c.fhListings)
+	degradeListings(c.wikiListings)
+	return in.Damage()
 }
 
 // fhCountries picks the 65 countries Freedom House covers: the large and

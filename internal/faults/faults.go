@@ -1,0 +1,202 @@
+// Package faults is the seeded fault-injection substrate for chaos runs.
+//
+// The paper's real inputs are flaky in practice: RouteViews/RIS monitors
+// go dark, WHOIS registries serve stale or malformed records, Orbis
+// rate-limits and times out, and the documentary sources have coverage
+// holes. A Plan describes one reproducible episode of that flakiness —
+// per-source fault specs derived from a seed and a severity knob — so a
+// chaos run can be replayed bit-for-bit and its degradation measured.
+//
+// Faults come in three shapes:
+//
+//   - record loss (Drop): a record silently never arrives — a monitor
+//     outage, a WHOIS row missing from a bulk dump, a document 404;
+//   - record corruption (Corrupt): a record arrives damaged (mojibake
+//     names, impossible country codes) and must be caught by the
+//     pipeline's validation pass and quarantined, never propagated;
+//   - transient failures (TransientError): a whole fetch times out but
+//     would succeed if retried — the Orbis rate-limit case.
+//
+// Everything is driven by rng sub-streams derived from the plan seed and
+// a per-source label, so injecting faults into one source never perturbs
+// the fault pattern of another.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"stateowned/internal/rng"
+)
+
+// Action is the per-record fault decision.
+type Action uint8
+
+// Per-record fault decisions.
+const (
+	Keep Action = iota
+	Drop
+	Corrupt
+)
+
+// RecordSpec gives the per-record fault rates for one data source.
+type RecordSpec struct {
+	DropRate    float64
+	CorruptRate float64
+}
+
+// Zero reports whether the spec injects nothing.
+func (s RecordSpec) Zero() bool { return s.DropRate <= 0 && s.CorruptRate <= 0 }
+
+// BGPSpec models vantage-point loss: each monitor goes dark with the
+// given probability (collector session resets, peer withdrawals).
+type BGPSpec struct {
+	MonitorOutageRate float64
+}
+
+// OrbisSpec models the commercial database's service behaviour: Timeouts
+// consecutive fetch attempts fail transiently before one succeeds
+// (rate-limiting), and the eventual response may be truncated (Records).
+type OrbisSpec struct {
+	Timeouts int
+	Records  RecordSpec
+}
+
+// Plan is one reproducible fault episode: per-source specs derived from
+// (Seed, Severity). The zero Plan injects nothing.
+type Plan struct {
+	Seed     uint64
+	Severity float64
+
+	BGP   BGPSpec
+	WHOIS RecordSpec
+	Geo   RecordSpec
+	Orbis OrbisSpec
+	Docs  RecordSpec
+}
+
+// NewPlan derives a fault plan from a seed and a severity in [0, 1]
+// (clamped). The per-source scaling keeps moderate severities survivable:
+// monitors fail fastest (real collector churn is high), documentary
+// coverage erodes linearly, and Orbis needs progressively more retries
+// until, past severity ~0.65, it exhausts any reasonable retry budget and
+// must be declared unavailable.
+func NewPlan(seed uint64, severity float64) Plan {
+	s := severity
+	if s < 0 {
+		s = 0
+	}
+	if s > 1 {
+		s = 1
+	}
+	return Plan{
+		Seed:     seed,
+		Severity: s,
+		BGP:      BGPSpec{MonitorOutageRate: 0.8 * s},
+		WHOIS:    RecordSpec{DropRate: 0.35 * s, CorruptRate: 0.35 * s},
+		Geo:      RecordSpec{DropRate: 0.25 * s, CorruptRate: 0.25 * s},
+		Orbis:    OrbisSpec{Timeouts: int(6 * s), Records: RecordSpec{DropRate: 0.3 * s}},
+		Docs:     RecordSpec{DropRate: 0.5 * s},
+	}
+}
+
+// Enabled reports whether the plan injects any faults.
+func (p Plan) Enabled() bool { return p.Severity > 0 }
+
+// Injector derives the deterministic per-record fault stream for one
+// source. The same (plan, source) pair always yields the same stream, so
+// a degraded substrate build is exactly reproducible.
+func (p Plan) Injector(source string, spec RecordSpec) *Injector {
+	return &Injector{
+		r:    rng.New(p.Seed ^ 0x5DEECE66D).Sub("faults/" + source),
+		spec: spec,
+	}
+}
+
+// Damage tallies what an injector did to a source.
+type Damage struct {
+	Dropped   int
+	Corrupted int
+}
+
+// Zero reports whether no damage was done.
+func (d Damage) Zero() bool { return d.Dropped == 0 && d.Corrupted == 0 }
+
+// Injector makes per-record fault decisions from a deterministic stream.
+// A nil Injector keeps every record.
+type Injector struct {
+	r    *rng.Stream
+	spec RecordSpec
+	dmg  Damage
+}
+
+// Next decides the fate of the next record.
+func (in *Injector) Next() Action {
+	if in == nil {
+		return Keep
+	}
+	u := in.r.Float64()
+	switch {
+	case u < in.spec.DropRate:
+		in.dmg.Dropped++
+		return Drop
+	case u < in.spec.DropRate+in.spec.CorruptRate:
+		in.dmg.Corrupted++
+		return Corrupt
+	default:
+		return Keep
+	}
+}
+
+// Coin flips a fair deterministic coin (used to pick corruption modes).
+func (in *Injector) Coin() bool { return in.r.Bool(0.5) }
+
+// Damage reports the tally so far.
+func (in *Injector) Damage() Damage {
+	if in == nil {
+		return Damage{}
+	}
+	return in.dmg
+}
+
+// BadCountry is the impossible ISO code corrupt records carry; no entry
+// in internal/ccodes resolves it, which is what validators key on.
+const BadCountry = "ZZ"
+
+// mangleMark is the Unicode replacement character — the classic fingerprint
+// of an encoding-damaged transfer.
+const mangleMark = "�"
+
+// MangleText damages a text field the way a broken transfer does:
+// truncation plus replacement characters.
+func (in *Injector) MangleText(s string) string {
+	if len(s) > 4 {
+		s = s[:len(s)/2]
+	}
+	return s + strings.Repeat(mangleMark, 1+in.r.Intn(3))
+}
+
+// Mangled reports whether a text field fails validation: empty, or
+// carrying encoding damage.
+func Mangled(s string) bool {
+	return strings.TrimSpace(s) == "" || strings.Contains(s, mangleMark)
+}
+
+// TransientError marks a failure that is worth retrying: the source is
+// believed healthy but this attempt timed out or was rate-limited.
+type TransientError struct {
+	Source  string
+	Attempt int
+}
+
+// Error implements error.
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("%s: simulated timeout on attempt %d (transient)", e.Source, e.Attempt)
+}
+
+// IsTransient reports whether the error chain contains a TransientError.
+func IsTransient(err error) bool {
+	var t *TransientError
+	return errors.As(err, &t)
+}

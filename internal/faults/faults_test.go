@@ -1,0 +1,124 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestPlanSeverityClamped(t *testing.T) {
+	for _, s := range []float64{-1, 0, 0.5, 1, 7} {
+		p := NewPlan(1, s)
+		if p.Severity < 0 || p.Severity > 1 {
+			t.Errorf("severity %v -> %v outside [0,1]", s, p.Severity)
+		}
+	}
+	if NewPlan(1, 0).Enabled() {
+		t.Error("zero-severity plan reports enabled")
+	}
+	if !NewPlan(1, 0.2).Enabled() {
+		t.Error("nonzero-severity plan reports disabled")
+	}
+}
+
+func TestPlanScalesMonotonically(t *testing.T) {
+	prev := NewPlan(1, 0)
+	for _, s := range []float64{0.1, 0.3, 0.6, 1.0} {
+		p := NewPlan(1, s)
+		if p.WHOIS.DropRate < prev.WHOIS.DropRate || p.Docs.DropRate < prev.Docs.DropRate ||
+			p.BGP.MonitorOutageRate < prev.BGP.MonitorOutageRate || p.Orbis.Timeouts < prev.Orbis.Timeouts {
+			t.Errorf("severity %v produced weaker faults than %v", s, prev.Severity)
+		}
+		prev = p
+	}
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	p := NewPlan(42, 0.5)
+	a := p.Injector("whois", p.WHOIS)
+	b := p.Injector("whois", p.WHOIS)
+	for i := 0; i < 5000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("decision %d differs across identical injectors", i)
+		}
+	}
+	if a.Damage() != b.Damage() {
+		t.Fatalf("damage tallies differ: %+v vs %+v", a.Damage(), b.Damage())
+	}
+}
+
+func TestInjectorStreamsIndependent(t *testing.T) {
+	p := NewPlan(42, 0.5)
+	a := p.Injector("whois", p.WHOIS)
+	b := p.Injector("geo", p.WHOIS) // same spec, different label
+	same := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same == n {
+		t.Error("differently-labeled injectors produced identical streams")
+	}
+}
+
+func TestInjectorRatesApproximate(t *testing.T) {
+	p := Plan{Seed: 9, Severity: 1}
+	in := p.Injector("x", RecordSpec{DropRate: 0.3, CorruptRate: 0.2})
+	const n = 20000
+	for i := 0; i < n; i++ {
+		in.Next()
+	}
+	d := in.Damage()
+	if f := float64(d.Dropped) / n; f < 0.27 || f > 0.33 {
+		t.Errorf("drop fraction %.3f far from 0.30", f)
+	}
+	if f := float64(d.Corrupted) / n; f < 0.17 || f > 0.23 {
+		t.Errorf("corrupt fraction %.3f far from 0.20", f)
+	}
+}
+
+func TestNilInjectorKeepsEverything(t *testing.T) {
+	var in *Injector
+	for i := 0; i < 100; i++ {
+		if in.Next() != Keep {
+			t.Fatal("nil injector did not keep a record")
+		}
+	}
+	if !in.Damage().Zero() {
+		t.Fatal("nil injector reported damage")
+	}
+}
+
+func TestMangledDetection(t *testing.T) {
+	p := NewPlan(3, 1)
+	in := p.Injector("m", p.WHOIS)
+	for _, name := range []string{"Telecom Argentina S.A.", "TTK", "Angola Cables"} {
+		m := in.MangleText(name)
+		if !Mangled(m) {
+			t.Errorf("mangled %q -> %q not detected", name, m)
+		}
+	}
+	for _, ok := range []string{"Telecom Argentina S.A.", "a"} {
+		if Mangled(ok) {
+			t.Errorf("clean %q flagged as mangled", ok)
+		}
+	}
+	if !Mangled("") || !Mangled("   ") {
+		t.Error("empty names must fail validation")
+	}
+}
+
+func TestTransientErrorDetection(t *testing.T) {
+	err := &TransientError{Source: "orbis", Attempt: 2}
+	if !IsTransient(err) {
+		t.Error("TransientError not detected")
+	}
+	if !IsTransient(fmt.Errorf("wrapped: %w", err)) {
+		t.Error("wrapped TransientError not detected")
+	}
+	if IsTransient(errors.New("permanent")) {
+		t.Error("plain error misclassified as transient")
+	}
+}

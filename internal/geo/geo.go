@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"stateowned/internal/ccodes"
+	"stateowned/internal/faults"
 	"stateowned/internal/netaddr"
 	"stateowned/internal/rng"
 	"stateowned/internal/world"
@@ -25,8 +26,11 @@ type DB struct {
 	prefixCountry map[world.ASN][]string
 	// prefixAddrs[origin][i] = address count of origin's i-th prefix
 	prefixAddrs map[world.ASN][]uint64
-	totals      map[string]uint64
-	accuracy    map[string]float64
+	// prefixes[origin][i] = origin's i-th prefix (keeps loc consistent
+	// when degradation reassigns or unassigns entries)
+	prefixes map[world.ASN][]netaddr.Prefix
+	totals   map[string]uint64
+	accuracy map[string]float64
 }
 
 // Build geolocates every prefix of the world.
@@ -37,6 +41,7 @@ func Build(w *world.World) *DB {
 		perOrigin:     make(map[world.ASN]map[string]uint64),
 		prefixCountry: make(map[world.ASN][]string),
 		prefixAddrs:   make(map[world.ASN][]uint64),
+		prefixes:      make(map[world.ASN][]netaddr.Prefix),
 		totals:        make(map[string]uint64),
 		accuracy:      make(map[string]float64),
 	}
@@ -73,6 +78,7 @@ func Build(w *world.World) *DB {
 			db.loc[p] = assigned
 			db.prefixCountry[asn] = append(db.prefixCountry[asn], assigned)
 			db.prefixAddrs[asn] = append(db.prefixAddrs[asn], p.NumAddresses())
+			db.prefixes[asn] = append(db.prefixes[asn], p)
 			po := db.perOrigin[asn]
 			if po == nil {
 				po = make(map[string]uint64)
@@ -87,6 +93,90 @@ func Build(w *world.World) *DB {
 
 // Locate returns the assigned country of a prefix ("" if unknown).
 func (d *DB) Locate(p netaddr.Prefix) string { return d.loc[p] }
+
+// sortedOrigins lists origins ascending — the deterministic iteration
+// order every degradation mutation uses.
+func (d *DB) sortedOrigins() []world.ASN {
+	origins := make([]world.ASN, 0, len(d.prefixCountry))
+	for o := range d.prefixCountry {
+		origins = append(origins, o)
+	}
+	world.SortASNs(origins)
+	return origins
+}
+
+// unassign removes one prefix assignment from every derived view; the
+// entry stays in the per-origin slices with country "" so prefix indices
+// (the CTI contract) keep their alignment.
+func (d *DB) unassign(origin world.ASN, i int) {
+	cc := d.prefixCountry[origin][i]
+	if cc == "" {
+		return
+	}
+	n := d.prefixAddrs[origin][i]
+	if po := d.perOrigin[origin]; po != nil {
+		if po[cc] -= n; po[cc] == 0 {
+			delete(po, cc)
+		}
+	}
+	if d.totals[cc] -= n; d.totals[cc] == 0 {
+		delete(d.totals, cc)
+	}
+	d.prefixCountry[origin][i] = ""
+	delete(d.loc, d.prefixes[origin][i])
+}
+
+// reassign moves one prefix assignment to another country.
+func (d *DB) reassign(origin world.ASN, i int, to string) {
+	d.unassign(origin, i)
+	n := d.prefixAddrs[origin][i]
+	po := d.perOrigin[origin]
+	if po == nil {
+		po = make(map[string]uint64)
+		d.perOrigin[origin] = po
+	}
+	po[to] += n
+	d.totals[to] += n
+	d.prefixCountry[origin][i] = to
+	d.loc[d.prefixes[origin][i]] = to
+}
+
+// Degrade injects geolocation-feed faults: prefixes missing from the
+// vendor snapshot (dropped — the DB simply does not know them) and
+// prefixes assigned an impossible country (corrupted — left in place for
+// the validation pass to catch).
+func (d *DB) Degrade(in *faults.Injector) faults.Damage {
+	for _, origin := range d.sortedOrigins() {
+		for i := range d.prefixCountry[origin] {
+			switch in.Next() {
+			case faults.Drop:
+				d.unassign(origin, i)
+			case faults.Corrupt:
+				d.reassign(origin, i, faults.BadCountry)
+			}
+		}
+	}
+	return in.Damage()
+}
+
+// Quarantine is the validation pass: assignments to countries that do
+// not resolve in the ISO table are unassigned (treated as unknown, never
+// propagated into per-country totals the pipeline consumes) and counted.
+func (d *DB) Quarantine() int {
+	n := 0
+	for _, origin := range d.sortedOrigins() {
+		for i, cc := range d.prefixCountry[origin] {
+			if cc == "" {
+				continue
+			}
+			if _, ok := ccodes.ByCode(cc); !ok {
+				d.unassign(origin, i)
+				n++
+			}
+		}
+	}
+	return n
+}
 
 // Accuracy returns the simulated accuracy for a country's prefixes.
 func (d *DB) Accuracy(cc string) float64 { return d.accuracy[cc] }

@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"stateowned/internal/ccodes"
+	"stateowned/internal/faults"
 	"stateowned/internal/rng"
 	"stateowned/internal/world"
 )
@@ -193,6 +194,60 @@ func findByBrand(w *world.World, brand string) *world.Operator {
 		}
 	}
 	return nil
+}
+
+// Fetch models querying the live service under faults: the first
+// `timeouts` attempts fail transiently (rate-limiting), after which the
+// snapshot arrives — possibly truncated and damaged per the injector.
+// The hardened runner drives the attempt counter through its retry loop.
+func Fetch(w *world.World, attempt, timeouts int, in *faults.Injector) (*DB, error) {
+	if attempt <= timeouts {
+		return nil, &faults.TransientError{Source: "orbis", Attempt: attempt}
+	}
+	db := Build(w)
+	if in != nil {
+		db.Degrade(in)
+	}
+	return db, nil
+}
+
+// Degrade injects response truncation (dropped rows — the rate-limited
+// query returned a partial page) and row damage (mangled company names)
+// into the snapshot. Damaged rows stay for the validation pass.
+func (d *DB) Degrade(in *faults.Injector) faults.Damage {
+	kept := d.entries[:0]
+	for _, e := range d.entries {
+		switch in.Next() {
+		case faults.Drop:
+			continue
+		case faults.Corrupt:
+			if in.Coin() {
+				e.CompanyName = in.MangleText(e.CompanyName)
+			} else {
+				e.Country = faults.BadCountry
+			}
+		}
+		kept = append(kept, e)
+	}
+	d.entries = kept
+	return in.Damage()
+}
+
+// Quarantine is the validation pass: rows with damaged names or
+// unresolvable countries are removed and counted.
+func (d *DB) Quarantine() int {
+	n := 0
+	kept := d.entries[:0]
+	for _, e := range d.entries {
+		_, ccOK := ccodes.ByCode(e.Country)
+		if faults.Mangled(e.CompanyName) || !ccOK {
+			n++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	d.entries = kept
+	return n
 }
 
 // StateOwnedTelecoms runs the paper's Orbis query: telecom-sector

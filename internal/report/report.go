@@ -207,3 +207,32 @@ func Series(title string, xs []string, ys []float64) string {
 	}
 	return b.String()
 }
+
+// sparkRamp is the unicode block ramp Sparkline draws with.
+var sparkRamp = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a value series as a one-line unicode bar ramp, scaled
+// to the series' own min..max (a flat series renders as all-low bars).
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		i := 0
+		if hi > lo {
+			i = int((v - lo) / (hi - lo) * float64(len(sparkRamp)-1))
+		}
+		b.WriteRune(sparkRamp[i])
+	}
+	return b.String()
+}

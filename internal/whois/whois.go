@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"stateowned/internal/ccodes"
+	"stateowned/internal/faults"
 	"stateowned/internal/rng"
 	"stateowned/internal/world"
 )
@@ -83,7 +84,7 @@ func Build(w *world.World) *Registry {
 		}
 	}
 	for _, asns := range reg.byOrg {
-		sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+		world.SortASNs(asns)
 	}
 	return reg
 }
@@ -115,6 +116,76 @@ func emailDomain(brand, cc string) string {
 		s = "example"
 	}
 	return s + "." + strings.ToLower(cc)
+}
+
+// sortedASNs lists the registry's keys in ascending order, the iteration
+// order every mutation uses so degraded registries stay deterministic.
+func (r *Registry) sortedASNs() []world.ASN {
+	asns := make([]world.ASN, 0, len(r.records))
+	for a := range r.records {
+		asns = append(asns, a)
+	}
+	world.SortASNs(asns)
+	return asns
+}
+
+// remove deletes a record and unlinks it from its org handle.
+func (r *Registry) remove(a world.ASN) {
+	rec, ok := r.records[a]
+	if !ok {
+		return
+	}
+	delete(r.records, a)
+	kept := r.byOrg[rec.OrgID][:0]
+	for _, o := range r.byOrg[rec.OrgID] {
+		if o != a {
+			kept = append(kept, o)
+		}
+	}
+	if len(kept) == 0 {
+		delete(r.byOrg, rec.OrgID)
+	} else {
+		r.byOrg[rec.OrgID] = kept
+	}
+}
+
+// Degrade injects the documented WHOIS failure modes into the snapshot:
+// records missing from the bulk dump (dropped) and records damaged in
+// transfer (mojibake org names, impossible country codes). Corrupt
+// records stay in the registry — catching them is the job of the
+// validation pass (Quarantine).
+func (r *Registry) Degrade(in *faults.Injector) faults.Damage {
+	for _, a := range r.sortedASNs() {
+		switch in.Next() {
+		case faults.Drop:
+			r.remove(a)
+		case faults.Corrupt:
+			rec := r.records[a]
+			if in.Coin() {
+				rec.OrgName = in.MangleText(rec.OrgName)
+			} else {
+				rec.Country = faults.BadCountry
+			}
+			r.records[a] = rec
+		}
+	}
+	return in.Damage()
+}
+
+// Quarantine is the validation pass: records with damaged names or
+// unresolvable country codes are removed (never propagated to the
+// pipeline) and counted.
+func (r *Registry) Quarantine() int {
+	n := 0
+	for _, a := range r.sortedASNs() {
+		rec := r.records[a]
+		_, ccOK := ccodes.ByCode(rec.Country)
+		if faults.Mangled(rec.OrgName) || faults.Mangled(rec.ASName) || !ccOK {
+			r.remove(a)
+			n++
+		}
+	}
+	return n
 }
 
 // Lookup returns the record for an ASN.

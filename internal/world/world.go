@@ -24,6 +24,12 @@ import (
 // ASN is an autonomous system number.
 type ASN uint32
 
+// SortASNs sorts an ASN slice ascending in place. Every package that
+// materializes ASN lists for stable consumption goes through this helper.
+func SortASNs(asns []ASN) {
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+}
+
 // OperatorKind classifies a network-operating company. The paper's scope
 // filter (§3, §5.3) keys off this: only federal-level operators offering
 // unrestricted transit or access count; academic, bureaucratic,

@@ -37,6 +37,23 @@ func TestSeedRobustness(t *testing.T) {
 		t.Logf("seed %d: precision=%.3f recall=%.3f ASes=%d countries=%d",
 			seed, s.Precision, s.Recall, h.StateASes, h.OwnerCountries)
 	}
+
+	// One chaos seed rides along: a moderate fault plan must cost recall,
+	// never precision — the same floor the pristine seeds are held to is
+	// only slightly relaxed (quarantine can eat a confirming document).
+	chaos := Run(Config{Seed: 9, Scale: 0.08, ChaosSeverity: 0.3})
+	cs := analysis.ComputeScore(chaos.AnalysisData(), nil)
+	if cs.Precision < 0.95 {
+		t.Errorf("chaos seed 9: precision %.3f below 0.95 floor (fp=%d)", cs.Precision, cs.FP)
+	}
+	if cs.Recall < 0.30 {
+		t.Errorf("chaos seed 9: recall %.3f collapsed entirely", cs.Recall)
+	}
+	if len(chaos.Health.DegradedSources()) < 2 {
+		t.Errorf("chaos seed 9: only %d degraded sources", len(chaos.Health.DegradedSources()))
+	}
+	t.Logf("chaos seed 9 (severity 0.3): precision=%.3f recall=%.3f degraded=%v quarantined=%d",
+		cs.Precision, cs.Recall, chaos.Health.DegradedSources(), chaos.Health.Quarantined())
 }
 
 // TestGeoOriginConsistency cross-checks two substrate views of the same

@@ -1,0 +1,169 @@
+package stateowned
+
+import (
+	"fmt"
+
+	"stateowned/internal/as2org"
+	"stateowned/internal/candidates"
+	"stateowned/internal/confirm"
+	"stateowned/internal/docsrc"
+	"stateowned/internal/expand"
+	"stateowned/internal/eyeballs"
+	"stateowned/internal/faults"
+	"stateowned/internal/geo"
+	"stateowned/internal/orbis"
+	"stateowned/internal/peeringdb"
+	"stateowned/internal/runner"
+	"stateowned/internal/topology"
+	"stateowned/internal/whois"
+	"stateowned/internal/world"
+)
+
+// breakerThreshold is the per-source circuit breaker: after this many
+// consecutive failed fetch attempts the source trips to unavailable and
+// the pipeline completes on whatever survives.
+const breakerThreshold = 4
+
+// sourceOrder fixes the Health report's row order regardless of which
+// source is touched first.
+var sourceOrder = []string{
+	"bgp", "geo", "eyeballs", "whois", "peeringdb", "as2org", "orbis", "docs",
+}
+
+// Run executes the full reproduction. With ChaosSeverity > 0 it runs
+// under a seeded fault plan: sources are built through the hardened
+// runner (retry with deterministic backoff, circuit breakers), corrupt
+// records are quarantined by validation passes, unavailable sources fall
+// back to the matching ablation pathway, and Result.Health reports the
+// degradation. With ChaosSeverity == 0 the same code path runs with a
+// no-op plan, so pristine results are bit-identical to the pre-chaos
+// pipeline.
+func Run(cfg Config) *Result {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1.0
+	}
+	seed := cfg.ChaosSeed
+	if seed == 0 {
+		seed = cfg.Seed
+	}
+	return runHardened(cfg, faults.NewPlan(seed, cfg.ChaosSeverity))
+}
+
+// runHardened is the degradation-aware pipeline runner: every substrate
+// build goes through runner.Do, record faults are injected and then
+// quarantined, and the three classification stages run behind panic
+// guards so a degraded substrate can never take the whole run down.
+func runHardened(cfg Config, plan faults.Plan) *Result {
+	h := runner.NewHealth(plan.Severity)
+	for _, s := range sourceOrder {
+		h.Source(s)
+	}
+	bo := runner.DefaultBackoff()
+
+	res := &Result{Config: cfg, Health: h}
+	res.World = world.Generate(world.Config{
+		Seed: cfg.Seed, Scale: cfg.Scale, Countries: cfg.Countries,
+	})
+	res.Topology = topology.Build(res.World, topology.FinalYear)
+
+	// inject returns the per-source fault stream, or nil (keep all) when
+	// the plan is off or the source has no fault channel.
+	inject := func(source string, spec faults.RecordSpec) *faults.Injector {
+		if !plan.Enabled() || spec.Zero() {
+			return nil
+		}
+		return plan.Injector(source, spec)
+	}
+
+	// Geolocation feed: build, then inject snapshot faults and run the
+	// validation pass so impossible assignments never reach the pipeline.
+	res.Geo, _ = runner.Do(h, runner.NewBreaker(breakerThreshold), bo, "geo",
+		func(int) (*geo.DB, error) { return geo.Build(res.World), nil })
+	if in := inject("geo", plan.Geo); in != nil {
+		h.NoteDamage("geo", res.Geo.Degrade(in))
+		h.NoteQuarantined("geo", res.Geo.Quarantine())
+	}
+
+	res.Eyeballs, _ = runner.Do(h, runner.NewBreaker(breakerThreshold), bo, "eyeballs",
+		func(int) (*eyeballs.Dataset, error) { return eyeballs.Build(res.World), nil })
+
+	res.WHOIS, _ = runner.Do(h, runner.NewBreaker(breakerThreshold), bo, "whois",
+		func(int) (*whois.Registry, error) { return whois.Build(res.World), nil })
+	if in := inject("whois", plan.WHOIS); in != nil {
+		h.NoteDamage("whois", res.WHOIS.Degrade(in))
+		h.NoteQuarantined("whois", res.WHOIS.Quarantine())
+	}
+
+	res.PeeringDB, _ = runner.Do(h, runner.NewBreaker(breakerThreshold), bo, "peeringdb",
+		func(int) (*peeringdb.DB, error) { return peeringdb.Build(res.World), nil })
+
+	// AS2Org is inferred from whatever WHOIS survived, so WHOIS damage
+	// propagates into sibling inference exactly as it would in the wild.
+	res.AS2Org, _ = runner.Do(h, runner.NewBreaker(breakerThreshold), bo, "as2org",
+		func(int) (*as2org.Mapping, error) { return as2org.Infer(res.WHOIS), nil })
+
+	// Orbis is the transiently failing source: the plan's first Timeouts
+	// attempts fail and runner.Do retries them with backoff. If the retry
+	// budget or the breaker runs out, the run degrades to the same path as
+	// the DisableOrbis ablation (stage 1 without the O source).
+	orbisIn := inject("orbis", plan.Orbis.Records)
+	orbisDB, orbisOK := runner.Do(h, runner.NewBreaker(breakerThreshold), bo, "orbis",
+		func(attempt int) (*orbis.DB, error) {
+			return orbis.Fetch(res.World, attempt, plan.Orbis.Timeouts, orbisIn)
+		})
+	if orbisOK {
+		res.Orbis = orbisDB
+		if orbisIn != nil {
+			h.NoteDamage("orbis", orbisIn.Damage())
+			h.NoteQuarantined("orbis", res.Orbis.Quarantine())
+		}
+	} else {
+		h.MarkStage("stage1", true, "orbis unavailable; candidates ran without the O source")
+	}
+
+	res.Docs, _ = runner.Do(h, runner.NewBreaker(breakerThreshold), bo, "docs",
+		func(int) (*docsrc.Corpus, error) { return docsrc.Build(res.World), nil })
+	if in := inject("docs", plan.Docs); in != nil {
+		h.NoteDamage("docs", res.Docs.Degrade(in))
+	}
+
+	if !cfg.DisableCTI {
+		res.Monitors, res.CTITop = computeCTI(res, cfg, plan, h)
+	} else {
+		res.CTITop = map[string][]world.ASN{}
+	}
+
+	res.Candidates = guardStage(h, "stage1",
+		&candidates.Result{PerSourceASes: map[candidates.Source][]world.ASN{}},
+		func() *candidates.Result { return runStage1(res, cfg) })
+	res.Confirmation = guardStage(h, "stage2", &confirm.Result{},
+		func() *confirm.Result {
+			return confirm.Run(confirm.Inputs{
+				WHOIS: res.WHOIS, PeeringDB: res.PeeringDB, Docs: res.Docs,
+			}, res.Candidates.Companies)
+		})
+	res.Dataset = guardStage(h, "stage3", &expand.Dataset{},
+		func() *expand.Dataset {
+			return expand.Run(res.Confirmation, res.AS2Org, expand.Options{
+				DisableSiblingExpansion: cfg.DisableSiblings,
+				WHOIS:                   res.WHOIS,
+			})
+		})
+	return res
+}
+
+// guardStage runs one classification stage behind a panic guard: a stage
+// blown up by a degraded substrate yields its empty fallback and a
+// degraded-stage note instead of killing the run.
+func guardStage[T any](h *runner.Health, name string, fallback T, fn func() T) T {
+	out := fallback
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				h.MarkStage(name, true, fmt.Sprintf("stage panicked, substituted empty result: %v", r))
+			}
+		}()
+		out = fn()
+	}()
+	return out
+}

@@ -39,9 +39,11 @@ import (
 	"stateowned/internal/docsrc"
 	"stateowned/internal/expand"
 	"stateowned/internal/eyeballs"
+	"stateowned/internal/faults"
 	"stateowned/internal/geo"
 	"stateowned/internal/orbis"
 	"stateowned/internal/peeringdb"
+	"stateowned/internal/runner"
 	"stateowned/internal/topology"
 	"stateowned/internal/whois"
 	"stateowned/internal/world"
@@ -70,6 +72,17 @@ type Config struct {
 	DisableSiblings bool
 	// Threshold overrides the 5% market-share cut when > 0.
 	Threshold float64
+
+	// ChaosSeverity turns on seeded fault injection when > 0 (up to 1):
+	// monitor outages, WHOIS/geolocation record loss and corruption,
+	// Orbis timeouts, missing documents. The hardened runner retries
+	// transient faults, quarantines corrupt records and degrades
+	// gracefully; Result.Health reports what was lost.
+	ChaosSeverity float64
+	// ChaosSeed seeds the fault plan independently of the world
+	// (0 = derive from Seed), so one world can be replayed under many
+	// fault episodes.
+	ChaosSeed uint64
 }
 
 // DefaultConfig is the configuration all experiments run with.
@@ -96,41 +109,11 @@ type Result struct {
 	Candidates   *candidates.Result
 	Confirmation *confirm.Result
 	Dataset      *expand.Dataset
-}
 
-// Run executes the full reproduction.
-func Run(cfg Config) *Result {
-	if cfg.Scale <= 0 {
-		cfg.Scale = 1.0
-	}
-	res := &Result{Config: cfg}
-	res.World = world.Generate(world.Config{
-		Seed: cfg.Seed, Scale: cfg.Scale, Countries: cfg.Countries,
-	})
-	res.Topology = topology.Build(res.World, topology.FinalYear)
-	res.Geo = geo.Build(res.World)
-	res.Eyeballs = eyeballs.Build(res.World)
-	res.WHOIS = whois.Build(res.World)
-	res.PeeringDB = peeringdb.Build(res.World)
-	res.AS2Org = as2org.Infer(res.WHOIS)
-	res.Orbis = orbis.Build(res.World)
-	res.Docs = docsrc.Build(res.World)
-
-	if !cfg.DisableCTI {
-		res.Monitors, res.CTITop = computeCTI(res, cfg)
-	} else {
-		res.CTITop = map[string][]world.ASN{}
-	}
-
-	res.Candidates = runStage1(res, cfg)
-	res.Confirmation = confirm.Run(confirm.Inputs{
-		WHOIS: res.WHOIS, PeeringDB: res.PeeringDB, Docs: res.Docs,
-	}, res.Candidates.Companies)
-	res.Dataset = expand.Run(res.Confirmation, res.AS2Org, expand.Options{
-		DisableSiblingExpansion: cfg.DisableSiblings,
-		WHOIS:                   res.WHOIS,
-	})
-	return res
+	// Health is the degradation report of the hardened runner: per-source
+	// status, records dropped and quarantined, retries spent, stages that
+	// ran degraded. Always populated; all-healthy on a pristine run.
+	Health *runner.Health
 }
 
 // AnalysisData bundles the run's artifacts for internal/analysis, which
@@ -142,12 +125,30 @@ func (r *Result) AnalysisData() *analysis.Data {
 	}
 }
 
+// minMonitorQuorum is the smallest vantage set CTI is allowed to run on;
+// below it the BGP feed is declared unavailable and CTI is skipped.
+const minMonitorQuorum = 2
+
 // computeCTI runs the transit-influence metric over the monitor paths for
 // every transit-dominated country (the paper applies CTI in 75 such
 // countries) and returns the monitor set and the per-country top-2
-// transit ASes.
-func computeCTI(res *Result, cfg Config) ([]bgp.Monitor, map[string][]world.ASN) {
+// transit ASes. Under a fault plan, monitors go dark first: the surviving
+// set feeds CTI, and if it falls below quorum the whole source degrades
+// to unavailable (the pipeline then simply lacks the C source, the same
+// pathway as the DisableCTI ablation).
+func computeCTI(res *Result, cfg Config, plan faults.Plan, h *runner.Health) ([]bgp.Monitor, map[string][]world.ASN) {
 	monitors := bgp.SelectMonitors(res.World, res.Topology, cfg.Monitors)
+	if plan.Enabled() && plan.BGP.MonitorOutageRate > 0 {
+		inj := plan.Injector("bgp", faults.RecordSpec{DropRate: plan.BGP.MonitorOutageRate})
+		up, dark := bgp.ApplyOutages(monitors, func(bgp.Monitor) bool { return inj.Next() == faults.Drop })
+		h.NoteDamage("bgp", faults.Damage{Dropped: dark})
+		monitors = up
+		if len(monitors) < minMonitorQuorum {
+			h.MarkUnavailable("bgp", "monitor set below quorum")
+			h.MarkStage("cti", true, "too few live monitors; CTI skipped")
+			return nil, map[string][]world.ASN{}
+		}
+	}
 
 	// Countries in scope for CTI: the paper applies the metric in 75
 	// transit-dominated countries; pick the most gateway-like first.
@@ -196,12 +197,13 @@ func computeCTI(res *Result, cfg Config) ([]bgp.Monitor, map[string][]world.ASN)
 			originSet[tr.Origin] = true
 			perCountry[cc] = append(perCountry[cc], tr.Origin)
 		}
+		world.SortASNs(perCountry[cc])
 	}
 	origins := make([]world.ASN, 0, len(originSet))
 	for o := range originSet {
 		origins = append(origins, o)
 	}
-	sortASNs(origins)
+	world.SortASNs(origins)
 
 	paths := bgp.CollectPaths(res.Topology, monitors, origins)
 	comp := cti.NewComputer(paths)
@@ -219,15 +221,9 @@ func computeCTI(res *Result, cfg Config) ([]bgp.Monitor, map[string][]world.ASN)
 	return monitors, top
 }
 
-func sortASNs(asns []world.ASN) {
-	for i := 1; i < len(asns); i++ {
-		for j := i; j > 0 && asns[j] < asns[j-1]; j-- {
-			asns[j], asns[j-1] = asns[j-1], asns[j]
-		}
-	}
-}
-
 // runStage1 assembles the candidate inputs, honoring ablation switches.
+// A source that went unavailable under faults arrives here as nil and is
+// treated exactly like its ablation switch.
 func runStage1(res *Result, cfg Config) *candidates.Result {
 	in := candidates.Inputs{
 		WHOIS:     res.WHOIS,
@@ -245,7 +241,7 @@ func runStage1(res *Result, cfg Config) *candidates.Result {
 	if !cfg.DisableEyeballs {
 		in.Eyeballs = res.Eyeballs
 	}
-	if !cfg.DisableOrbis {
+	if !cfg.DisableOrbis && res.Orbis != nil {
 		in.Orbis = res.Orbis
 	}
 	return candidates.Run(in)
