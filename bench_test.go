@@ -10,6 +10,10 @@ package stateowned
 //
 //	go test -bench=. -benchmem
 import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
@@ -24,6 +28,7 @@ import (
 	"stateowned/internal/eyeballs"
 	"stateowned/internal/geo"
 	"stateowned/internal/ownership"
+	"stateowned/internal/serve"
 	"stateowned/internal/topology"
 	"stateowned/internal/whois"
 	"stateowned/internal/world"
@@ -349,6 +354,89 @@ func BenchmarkAblationSiblings(b *testing.B) {
 	b.Run("no-siblings", func(b *testing.B) {
 		ablationRecall(b, Config{Seed: 42, Scale: benchScale, DisableSiblings: true})
 	})
+}
+
+// --- Serving-subsystem benchmarks -------------------------------------------
+
+func BenchmarkIndexBuild(b *testing.B) {
+	res, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serve.BuildIndex(res.Dataset)
+	}
+}
+
+// benchProbeASNs mixes dataset hits with guaranteed misses so lookup
+// benchmarks measure both paths, the way real query traffic does.
+func benchProbeASNs(res *Result) []world.ASN {
+	probes := append([]world.ASN(nil), res.Dataset.AllASNs()...)
+	for i := 0; i < len(probes); i += 2 {
+		probes = append(probes, world.ASN(1<<30)+world.ASN(i))
+	}
+	return probes
+}
+
+// BenchmarkIndexLookup measures one per-ASN answer through the index;
+// compare with BenchmarkLinearScanLookup, the pre-index implementation
+// of the same question (EXPERIMENTS.md records the ratio).
+func BenchmarkIndexLookup(b *testing.B) {
+	res, _ := benchSetup(b)
+	idx := res.Index()
+	probes := benchProbeASNs(res)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.ASN(probes[i%len(probes)])
+	}
+}
+
+// BenchmarkLinearScanLookup is the displaced implementation: the nested
+// organizations×ASNs scan plus the minority scan that cmd/query ran per
+// question before the serving index existed.
+func BenchmarkLinearScanLookup(b *testing.B) {
+	res, _ := benchSetup(b)
+	ds := res.Dataset
+	probes := benchProbeASNs(res)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		target := probes[i%len(probes)]
+		for j := range ds.Organizations {
+			for _, a := range ds.ASNs[j].ASNs {
+				if a == target {
+					_ = &ds.Organizations[j]
+				}
+			}
+		}
+		for j := range ds.Minority {
+			for _, a := range ds.Minority[j].ASNs {
+				if a == target {
+					_ = &ds.Minority[j]
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkServeASN measures a full HTTP round trip of the per-ASN
+// endpoint (cache on, so the steady state is a cache replay).
+func BenchmarkServeASN(b *testing.B) {
+	res, _ := benchSetup(b)
+	srv := serve.New(res.Index(), serve.Options{Health: res.Health, CacheSize: 1024})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	probes := benchProbeASNs(res)
+	client := ts.Client()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Get(fmt.Sprintf("%s/v1/asn/%d", ts.URL, probes[i%len(probes)]))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
 }
 
 // BenchmarkChurnAndAudit measures the §9 ageing model: five years of

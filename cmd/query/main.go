@@ -1,11 +1,16 @@
 // Command query answers the questions a downstream user asks of the
 // dataset: is this ASN state-owned, by whom, on what evidence; and what
-// does the state own in a given country.
+// does the state own in a given country. It is a thin client of the
+// serving index (internal/serve) — the same lookup structures cmd/serve
+// exposes over HTTP — so answers come from O(1) index lookups, not
+// linear dataset scans.
 //
 // Usage:
 //
 //	query [-seed N] [-scale F] -asn 7473
 //	query [-seed N] [-scale F] -country AO
+//
+// -asn and -country are mutually exclusive.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 
 	"stateowned"
 	"stateowned/internal/report"
+	"stateowned/internal/serve"
 	"stateowned/internal/world"
 )
 
@@ -24,70 +30,88 @@ func main() {
 	asn := flag.Uint64("asn", 0, "look up one ASN")
 	country := flag.String("country", "", "list a country's state-owned ASes")
 	flag.Parse()
-	if *asn == 0 && *country == "" {
+	switch {
+	case *scale <= 0:
+		fmt.Fprintln(os.Stderr, "query: invalid -scale: must be > 0")
+		os.Exit(2)
+	case *asn == 0 && *country == "":
 		fmt.Fprintln(os.Stderr, "query: need -asn or -country")
+		os.Exit(2)
+	case *asn != 0 && *country != "":
+		fmt.Fprintln(os.Stderr, "query: -asn and -country are mutually exclusive")
 		os.Exit(2)
 	}
 
 	res := stateowned.Run(stateowned.Config{Seed: *seed, Scale: *scale})
-	ds := res.Dataset
+	idx := res.Index()
 
 	if *asn != 0 {
-		target := world.ASN(*asn)
-		for i := range ds.Organizations {
-			for _, a := range ds.ASNs[i].ASNs {
-				if a != target {
-					continue
-				}
-				org := &ds.Organizations[i]
-				fmt.Printf("AS%d is STATE-OWNED\n", target)
-				fmt.Printf("  organization:  %s (%s)\n", org.OrgName, org.OrgID)
-				fmt.Printf("  conglomerate:  %s\n", org.ConglomerateName)
-				fmt.Printf("  owner state:   %s (%s)\n", org.OwnershipCC, org.OwnershipCountryName)
-				if org.IsForeignSubsidiary() {
-					fmt.Printf("  operates in:   %s (%s) — foreign subsidiary\n", org.TargetCC, org.TargetCountryName)
-				}
-				fmt.Printf("  confirmed by:  %s\n", org.Source)
-				fmt.Printf("  quote:         %q (%s)\n", org.Quote, org.QuoteLang)
-				if org.URL != "" {
-					fmt.Printf("  url:           %s\n", org.URL)
-				}
-				fmt.Printf("  input sources: %v\n", org.Inputs)
-				fmt.Printf("  sibling ASNs:  %v\n", ds.ASNs[i].ASNs)
-				return
-			}
-		}
-		for _, m := range ds.Minority {
-			for _, a := range m.ASNs {
-				if a == world.ASN(*asn) {
-					fmt.Printf("AS%d is MINORITY state-owned: %s holds %.1f%% of %s\n",
-						*asn, m.Owner, m.Share*100, m.OrgName)
-					return
-				}
-			}
-		}
-		fmt.Printf("AS%d: no state ownership detected\n", *asn)
+		queryASN(idx, world.ASN(*asn))
 		return
 	}
+	queryCountry(idx, *country)
+}
 
-	t := report.NewTable("State-owned ASes operating in "+*country,
-		"ASN", "organization", "owner", "foreign", "source")
-	for i := range ds.Organizations {
-		org := &ds.Organizations[i]
-		if org.OperatingCountry() != *country {
-			continue
+func queryASN(idx *serve.Index, target world.ASN) {
+	org, minority, owned := idx.ASN(target)
+	if owned {
+		rec := org.Record
+		fmt.Printf("AS%d is STATE-OWNED\n", target)
+		fmt.Printf("  organization:  %s (%s)\n", rec.OrgName, rec.OrgID)
+		fmt.Printf("  conglomerate:  %s\n", rec.ConglomerateName)
+		fmt.Printf("  owner state:   %s (%s)\n", rec.OwnershipCC, rec.OwnershipCountryName)
+		if rec.IsForeignSubsidiary() {
+			fmt.Printf("  operates in:   %s (%s) — foreign subsidiary\n", rec.TargetCC, rec.TargetCountryName)
 		}
+		fmt.Printf("  confirmed by:  %s\n", rec.Source)
+		fmt.Printf("  quote:         %q (%s)\n", rec.Quote, rec.QuoteLang)
+		if rec.URL != "" {
+			fmt.Printf("  url:           %s\n", rec.URL)
+		}
+		fmt.Printf("  input sources: %v\n", rec.Inputs)
+		fmt.Printf("  sibling ASNs:  %v\n", org.ASNs)
+		return
+	}
+	if len(minority) > 0 {
+		for _, m := range minority {
+			fmt.Printf("AS%d is MINORITY state-owned: %s holds %.1f%% of %s\n",
+				target, m.Owner, m.Share*100, m.OrgName)
+		}
+		return
+	}
+	fmt.Printf("AS%d: no state ownership detected\n", target)
+}
+
+func queryCountry(idx *serve.Index, cc string) {
+	cc = serve.CanonicalCC(cc)
+	orgs, minority := idx.Country(cc)
+
+	t := report.NewTable("State-owned ASes operating in "+cc,
+		"ASN", "organization", "owner", "foreign", "source")
+	for _, o := range orgs {
 		foreign := ""
-		if org.IsForeignSubsidiary() {
+		if o.Record.IsForeignSubsidiary() {
 			foreign = "yes"
 		}
-		for _, a := range ds.ASNs[i].ASNs {
-			t.AddRow(uint32(a), org.OrgName, org.OwnershipCC, foreign, org.Source)
+		for _, a := range o.ASNs {
+			t.AddRow(uint32(a), o.Record.OrgName, o.Record.OwnershipCC, foreign, o.Record.Source)
 		}
 	}
-	if t.NumRows() == 0 {
-		fmt.Printf("no state-owned ASes found operating in %s\n", *country)
+	if t.NumRows() == 0 && len(minority) == 0 {
+		fmt.Printf("no state-owned ASes found operating in %s\n", cc)
 		return
 	}
-	fmt.Println(t.String())
+	if t.NumRows() > 0 {
+		fmt.Println(t.String())
+	}
+	if len(minority) > 0 {
+		mt := report.NewTable("Minority state holdings in "+cc,
+			"ASN", "organization", "owner", "share")
+		for _, m := range minority {
+			for _, a := range m.ASNs {
+				mt.AddRow(uint32(a), m.OrgName, m.Owner, fmt.Sprintf("%.1f%%", m.Share*100))
+			}
+		}
+		fmt.Println(mt.String())
+	}
 }

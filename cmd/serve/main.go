@@ -1,0 +1,88 @@
+// Command serve runs the pipeline once and serves the resulting dataset
+// over an HTTP JSON API: per-ASN, per-country and per-organization
+// lookups, fuzzy name search, the full Listing-1 export, and the
+// operational endpoints /healthz, /readyz (the pipeline's degradation
+// report) and /metrics (request counts, latency histograms, cache hit
+// ratio).
+//
+// Usage:
+//
+//	serve [-addr :8080] [-seed N] [-scale F] [-chaos F] [-chaos-seed N] [-cache N]
+//
+// With -chaos > 0 the pipeline builds under a seeded fault plan and
+// /readyz reflects the degraded sources (503 when a source went
+// unavailable).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"stateowned"
+	"stateowned/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serve: ")
+	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks an ephemeral port)")
+	seed := flag.Uint64("seed", 42, "world seed")
+	scale := flag.Float64("scale", 1.0, "world scale")
+	chaos := flag.Float64("chaos", 0, "fault-injection severity in [0,1] (0 = off)")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "fault-plan seed (0 = derive from -seed)")
+	cacheSize := flag.Int("cache", 1024, "response-cache capacity in entries (0 disables caching)")
+	flag.Parse()
+
+	if *scale <= 0 {
+		log.Println("invalid -scale: must be > 0")
+		os.Exit(2)
+	}
+	if *chaos < 0 || *chaos > 1 {
+		log.Println("invalid -chaos: severity must be in [0,1]")
+		os.Exit(2)
+	}
+	if *cacheSize < 0 {
+		log.Println("invalid -cache: must be >= 0")
+		os.Exit(2)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Printf("invalid -addr: %v", err)
+		os.Exit(2)
+	}
+
+	log.Printf("building dataset (seed %d, scale %g, chaos %g)...", *seed, *scale, *chaos)
+	res := stateowned.Run(stateowned.Config{
+		Seed: *seed, Scale: *scale,
+		ChaosSeverity: *chaos, ChaosSeed: *chaosSeed,
+	})
+	idx := res.Index()
+	log.Printf("index ready: %d organizations, %d state-owned ASNs, %d minority records",
+		idx.NumOrgs(), idx.NumASNs(), len(res.Dataset.Minority))
+	if degraded := res.Health.DegradedSources(); len(degraded) > 0 {
+		log.Printf("degraded sources: %v (see /readyz)", degraded)
+	}
+
+	srv := serve.New(idx, serve.Options{
+		Health:    res.Health,
+		CacheSize: *cacheSize,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// The "listening on" line is the machine-readable handshake the smoke
+	// tests (and port-0 users) parse for the bound address.
+	fmt.Printf("listening on %s\n", ln.Addr())
+	if err := srv.Serve(ctx, ln); err != nil {
+		log.Fatal(err)
+	}
+	log.Println("shut down cleanly")
+}

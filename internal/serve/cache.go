@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// CachedResponse is one materialized HTTP response body held by the
+// cache: everything needed to replay the response without re-running the
+// handler.
+type CachedResponse struct {
+	Status      int
+	ContentType string
+	Body        []byte
+}
+
+// Cache is a bounded LRU response cache keyed on the canonicalized
+// request, with hit/miss accounting. A nil *Cache (or capacity <= 0) is
+// a valid always-miss cache, so handlers never branch on "caching off".
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	hits     uint64
+	misses   uint64
+}
+
+type cacheEntry struct {
+	key string
+	val CachedResponse
+}
+
+// NewCache creates an LRU cache bounded to capacity entries; capacity
+// <= 0 returns nil, the always-miss cache.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached response for key and promotes it to most
+// recently used. The returned body is shared — callers must not mutate
+// it (handlers only ever write it out).
+func (c *Cache) Get(key string) (CachedResponse, bool) {
+	if c == nil {
+		return CachedResponse{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return CachedResponse{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores a response under key, evicting the least recently used
+// entry when the cache is full.
+func (c *Cache) Put(key string, v CachedResponse) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).val = v
+		return
+	}
+	if c.ll.Len() >= c.capacity {
+		oldest := c.ll.Back()
+		if oldest != nil {
+			c.ll.Remove(oldest)
+			delete(c.items, oldest.Value.(*cacheEntry).key)
+		}
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: v})
+}
+
+// CacheStats is the cache's accounting snapshot.
+type CacheStats struct {
+	Capacity int     `json:"capacity"`
+	Size     int     `json:"size"`
+	Hits     uint64  `json:"hits"`
+	Misses   uint64  `json:"misses"`
+	HitRatio float64 `json:"hit_ratio"`
+}
+
+// Stats snapshots the cache accounting. A nil cache reports zeroes.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CacheStats{
+		Capacity: c.capacity,
+		Size:     c.ll.Len(),
+		Hits:     c.hits,
+		Misses:   c.misses,
+	}
+	if total := c.hits + c.misses; total > 0 {
+		s.HitRatio = float64(c.hits) / float64(total)
+	}
+	return s
+}

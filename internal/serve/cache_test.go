@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func respBody(s string) CachedResponse {
+	return CachedResponse{Status: 200, ContentType: "application/json", Body: []byte(s)}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put("a", respBody("A"))
+	got, ok := c.Get("a")
+	if !ok || string(got.Body) != "A" {
+		t.Fatalf("Get a = %q ok=%v", got.Body, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 || st.Capacity != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.HitRatio != 0.5 {
+		t.Fatalf("hit ratio = %v", st.HitRatio)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(3)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), respBody(fmt.Sprintf("v%d", i)))
+	}
+	// Touch k0 so k1 becomes the eviction victim.
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("k0 missing before eviction")
+	}
+	c.Put("k3", respBody("v3"))
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("k1 should have been evicted (LRU)")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted unexpectedly", k)
+		}
+	}
+	if st := c.Stats(); st.Size != 3 {
+		t.Fatalf("size = %d after eviction", st.Size)
+	}
+}
+
+func TestCacheUpdateExisting(t *testing.T) {
+	c := NewCache(2)
+	c.Put("k", respBody("old"))
+	c.Put("k", respBody("new"))
+	got, ok := c.Get("k")
+	if !ok || string(got.Body) != "new" {
+		t.Fatalf("updated entry = %q ok=%v", got.Body, ok)
+	}
+	if st := c.Stats(); st.Size != 1 {
+		t.Fatalf("size = %d after in-place update", st.Size)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(0)
+	if c != nil {
+		t.Fatal("capacity 0 should return the nil always-miss cache")
+	}
+	c.Put("k", respBody("v")) // must not panic
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("nil cache reported a hit")
+	}
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Fatalf("nil cache stats = %+v", st)
+	}
+}

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"testing"
+
+	"stateowned/internal/expand"
+	"stateowned/internal/world"
+)
+
+// fixtureDataset is a tiny hand-built Listing-1 dataset exercising every
+// index dimension: a domestic org, a foreign subsidiary, a multi-ASN
+// org, and a minority holding.
+func fixtureDataset() *expand.Dataset {
+	return &expand.Dataset{
+		Organizations: []expand.OrgRecord{
+			{
+				ConglomerateName: "Angola Cables", OrgID: "ORG-0001",
+				OrgName: "Angola Cables S.A.", OwnershipCC: "AO",
+				OwnershipCountryName: "Angola", RIR: "AFRINIC", Source: "website",
+			},
+			{
+				ConglomerateName: "Telenor", OrgID: "ORG-0002",
+				OrgName: "Telenor Myanmar Ltd", OwnershipCC: "NO",
+				OwnershipCountryName: "Norway", RIR: "APNIC", Source: "annual report",
+				TargetCC: "MM", TargetCountryName: "Myanmar", ParentOrg: "Telenor ASA",
+			},
+			{
+				ConglomerateName: "Ooredoo", OrgID: "ORG-0003",
+				OrgName: "Ooredoo Q.S.C", OwnershipCC: "QA",
+				OwnershipCountryName: "Qatar", RIR: "RIPE", Source: "website",
+			},
+		},
+		ASNs: []expand.OrgASNs{
+			{OrgID: "ORG-0001", ASNs: []world.ASN{100, 101}},
+			{OrgID: "ORG-0002", ASNs: []world.ASN{200}},
+			{OrgID: "ORG-0003", ASNs: []world.ASN{300, 301}},
+		},
+		Minority: []expand.MinorityRecord{
+			{OrgName: "PartialTel", CC: "BR", Owner: "BR", Share: 0.30, ASNs: []world.ASN{400}},
+			{OrgName: "HalfNet", CC: "AO", Owner: "AO", Share: 0.49, ASNs: []world.ASN{101, 500}},
+		},
+	}
+}
+
+func TestIndexASNLookup(t *testing.T) {
+	idx := BuildIndex(fixtureDataset())
+
+	org, minority, owned := idx.ASN(100)
+	if !owned || org.Record.OrgID != "ORG-0001" {
+		t.Fatalf("ASN 100: owned=%v org=%+v", owned, org.Record)
+	}
+	if len(org.ASNs) != 2 {
+		t.Fatalf("ASN 100 siblings = %v", org.ASNs)
+	}
+	if len(minority) != 0 {
+		t.Fatalf("ASN 100 unexpected minority %v", minority)
+	}
+
+	// 101 is both majority-owned (ORG-0001) and a minority holding.
+	org, minority, owned = idx.ASN(101)
+	if !owned || org.Record.OrgID != "ORG-0001" || len(minority) != 1 || minority[0].OrgName != "HalfNet" {
+		t.Fatalf("ASN 101: owned=%v minority=%v", owned, minority)
+	}
+
+	// 400 is minority-only.
+	_, minority, owned = idx.ASN(400)
+	if owned || len(minority) != 1 || minority[0].OrgName != "PartialTel" {
+		t.Fatalf("ASN 400: owned=%v minority=%v", owned, minority)
+	}
+
+	if _, mins, owned := idx.ASN(999); owned || len(mins) != 0 {
+		t.Fatal("ASN 999 should be unknown")
+	}
+}
+
+func TestIndexCountryLookup(t *testing.T) {
+	idx := BuildIndex(fixtureDataset())
+
+	orgs, minority := idx.Country("AO")
+	if len(orgs) != 1 || orgs[0].Record.OrgID != "ORG-0001" {
+		t.Fatalf("AO orgs = %+v", orgs)
+	}
+	if len(minority) != 1 || minority[0].OrgName != "HalfNet" {
+		t.Fatalf("AO minority = %v", minority)
+	}
+
+	// The foreign subsidiary operates in its target country, not its
+	// owner's.
+	orgs, _ = idx.Country("MM")
+	if len(orgs) != 1 || orgs[0].Record.OrgID != "ORG-0002" {
+		t.Fatalf("MM orgs = %+v", orgs)
+	}
+	if orgs, _ := idx.Country("NO"); len(orgs) != 0 {
+		t.Fatalf("NO should host no operators, got %+v", orgs)
+	}
+
+	// Lower-case codes canonicalize.
+	lower, _ := idx.Country("ao")
+	if len(lower) != 1 || lower[0].Record.OrgID != "ORG-0001" {
+		t.Fatalf("lower-case lookup = %+v", lower)
+	}
+}
+
+func TestIndexOrgLookup(t *testing.T) {
+	idx := BuildIndex(fixtureDataset())
+	org, ok := idx.Org("ORG-0003")
+	if !ok || org.Record.OrgName != "Ooredoo Q.S.C" || len(org.ASNs) != 2 {
+		t.Fatalf("ORG-0003 = %+v ok=%v", org, ok)
+	}
+	if _, ok := idx.Org("ORG-9999"); ok {
+		t.Fatal("ORG-9999 should not resolve")
+	}
+}
+
+func TestIndexSearch(t *testing.T) {
+	idx := BuildIndex(fixtureDataset())
+
+	hits := idx.Search("angola cables", 5)
+	if len(hits) == 0 || hits[0].Org.Record.OrgID != "ORG-0001" {
+		t.Fatalf("search 'angola cables' = %+v", hits)
+	}
+
+	// Legal-suffix and case variants match through normalization.
+	hits = idx.Search("OOREDOO QSC", 5)
+	if len(hits) == 0 || hits[0].Org.Record.OrgID != "ORG-0003" {
+		t.Fatalf("search 'OOREDOO QSC' = %+v", hits)
+	}
+
+	// A pure spelling variant shares no token; the full-scan fallback
+	// still finds it via Jaro-Winkler.
+	hits = idx.Search("Telenoor Myanmaar", 5)
+	if len(hits) == 0 || hits[0].Org.Record.OrgID != "ORG-0002" {
+		t.Fatalf("search 'Telenoor Myanmaar' = %+v", hits)
+	}
+
+	if hits := idx.Search("zzzz qqqq xxxx", 5); len(hits) != 0 {
+		t.Fatalf("nonsense query matched %+v", hits)
+	}
+
+	// Limit truncates.
+	if hits := idx.Search("angola cables", 0); len(hits) > 10 {
+		t.Fatalf("default limit exceeded: %d", len(hits))
+	}
+}
+
+func TestIndexCounts(t *testing.T) {
+	idx := BuildIndex(fixtureDataset())
+	if idx.NumOrgs() != 3 {
+		t.Fatalf("NumOrgs = %d", idx.NumOrgs())
+	}
+	if idx.NumASNs() != 5 {
+		t.Fatalf("NumASNs = %d", idx.NumASNs())
+	}
+	if idx.Dataset() == nil {
+		t.Fatal("Dataset accessor returned nil")
+	}
+}

@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"stateowned/internal/report"
+)
+
+// Clock supplies monotonically non-decreasing time in virtual units.
+// Latency accounting runs on virtual units for the same reason the
+// runner's backoff does: tests and chaos replays stay deterministic
+// when they inject a counting clock, while the default clock maps a
+// virtual unit to a microsecond of wall time.
+type Clock func() int64
+
+// WallClock is the default production clock: one virtual unit per
+// microsecond.
+func WallClock() int64 { return int64(time.Since(wallEpoch) / time.Microsecond) }
+
+var wallEpoch = time.Now()
+
+// latencyBuckets is the number of exponential histogram buckets: bucket
+// i counts requests with latency < 2^i virtual units, the last bucket
+// is the overflow.
+const latencyBuckets = 16
+
+// endpointStats accumulates one endpoint's counters.
+type endpointStats struct {
+	requests   uint64
+	byStatus   map[int]uint64
+	hist       [latencyBuckets]uint64
+	totalUnits int64
+	maxUnits   int64
+}
+
+// Metrics is the serve-metrics registry: per-endpoint request counts and
+// latency histograms (virtual units), plus an in-flight gauge. Cache
+// accounting lives on the Cache itself and is merged into snapshots by
+// the server.
+type Metrics struct {
+	clock Clock
+
+	mu        sync.Mutex
+	inflight  int
+	endpoints map[string]*endpointStats
+	order     []string
+}
+
+// NewMetrics creates a registry on the given clock (nil selects
+// WallClock).
+func NewMetrics(clock Clock) *Metrics {
+	if clock == nil {
+		clock = WallClock
+	}
+	return &Metrics{clock: clock, endpoints: map[string]*endpointStats{}}
+}
+
+// Begin marks a request as in flight and returns its start timestamp.
+func (m *Metrics) Begin() int64 {
+	m.mu.Lock()
+	m.inflight++
+	m.mu.Unlock()
+	return m.clock()
+}
+
+// End records a finished request against an endpoint: status class,
+// latency bucket, totals, and the in-flight gauge.
+func (m *Metrics) End(endpoint string, status int, start int64) {
+	elapsed := m.clock() - start
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inflight--
+	st := m.endpoints[endpoint]
+	if st == nil {
+		st = &endpointStats{byStatus: map[int]uint64{}}
+		m.endpoints[endpoint] = st
+		m.order = append(m.order, endpoint)
+	}
+	st.requests++
+	st.byStatus[status]++
+	st.hist[bucketOf(elapsed)]++
+	st.totalUnits += elapsed
+	if elapsed > st.maxUnits {
+		st.maxUnits = elapsed
+	}
+}
+
+// bucketOf maps a latency to its exponential bucket: bucket i holds
+// latencies in [2^(i-1), 2^i), bucket 0 holds < 1.
+func bucketOf(units int64) int {
+	for i := 0; i < latencyBuckets-1; i++ {
+		if units < 1<<uint(i) {
+			return i
+		}
+	}
+	return latencyBuckets - 1
+}
+
+// EndpointSnapshot is one endpoint's row of a metrics snapshot.
+type EndpointSnapshot struct {
+	Endpoint  string                 `json:"endpoint"`
+	Requests  uint64                 `json:"requests"`
+	ByStatus  map[string]uint64      `json:"by_status"`
+	MeanUnits float64                `json:"mean_latency_units"`
+	MaxUnits  int64                  `json:"max_latency_units"`
+	Histogram [latencyBuckets]uint64 `json:"latency_histogram"`
+}
+
+// Snapshot is the full registry state at one instant, the JSON body of
+// /metrics.
+type Snapshot struct {
+	InFlight  int                `json:"in_flight"`
+	Requests  uint64             `json:"requests"`
+	Endpoints []EndpointSnapshot `json:"endpoints"`
+	Cache     CacheStats         `json:"cache"`
+}
+
+// Snapshot captures the registry (endpoints sorted by name for a stable
+// JSON body; cache stats are filled in by the caller that owns the
+// cache).
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := Snapshot{InFlight: m.inflight}
+	names := append([]string(nil), m.order...)
+	sort.Strings(names)
+	for _, name := range names {
+		st := m.endpoints[name]
+		es := EndpointSnapshot{
+			Endpoint:  name,
+			Requests:  st.requests,
+			ByStatus:  map[string]uint64{},
+			MaxUnits:  st.maxUnits,
+			Histogram: st.hist,
+		}
+		for code, n := range st.byStatus {
+			es.ByStatus[fmt.Sprintf("%d", code)] = n
+		}
+		if st.requests > 0 {
+			es.MeanUnits = float64(st.totalUnits) / float64(st.requests)
+		}
+		snap.Requests += st.requests
+		snap.Endpoints = append(snap.Endpoints, es)
+	}
+	return snap
+}
+
+// Render formats a snapshot as a plain-text table with a per-endpoint
+// latency-histogram sparkline, in the house report style.
+func (s Snapshot) Render() string {
+	t := report.NewTable(
+		fmt.Sprintf("Serve metrics (%d requests, %d in flight, cache hit ratio %.2f)",
+			s.Requests, s.InFlight, s.Cache.HitRatio),
+		"endpoint", "requests", "mean", "max", "latency histogram")
+	for _, es := range s.Endpoints {
+		vals := make([]float64, len(es.Histogram))
+		for i, n := range es.Histogram {
+			vals[i] = float64(n)
+		}
+		t.AddRow(es.Endpoint, es.Requests, es.MeanUnits, es.MaxUnits, report.Sparkline(vals))
+	}
+	return t.String()
+}

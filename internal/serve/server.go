@@ -1,0 +1,377 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"stateowned/internal/expand"
+	"stateowned/internal/nameutil"
+	"stateowned/internal/runner"
+	"stateowned/internal/world"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Health is the pipeline run's degradation report; /readyz summarizes
+	// it. Nil means "no health information" and /readyz always reports
+	// ready.
+	Health *runner.Health
+	// CacheSize bounds the LRU response cache in entries (<= 0 disables
+	// caching).
+	CacheSize int
+	// Clock drives latency accounting (nil = WallClock).
+	Clock Clock
+	// SearchLimit caps /v1/search results (<= 0 = 10).
+	SearchLimit int
+}
+
+// Server serves an Index over HTTP. All state reached by handlers is
+// either immutable (the Index) or internally synchronized (cache,
+// metrics), so the server is safe under arbitrary request concurrency.
+type Server struct {
+	idx     *Index
+	health  *runner.Health
+	cache   *Cache
+	metrics *Metrics
+	mux     *http.ServeMux
+	limit   int
+}
+
+// New assembles a Server over a compiled Index.
+func New(idx *Index, opts Options) *Server {
+	s := &Server{
+		idx:     idx,
+		health:  opts.Health,
+		cache:   NewCache(opts.CacheSize),
+		metrics: NewMetrics(opts.Clock),
+		mux:     http.NewServeMux(),
+		limit:   opts.SearchLimit,
+	}
+	if s.limit <= 0 {
+		s.limit = 10
+	}
+	s.mux.HandleFunc("GET /v1/asn/{asn}", s.cached("/v1/asn", s.handleASN))
+	s.mux.HandleFunc("GET /v1/country/{cc}", s.cached("/v1/country", s.handleCountry))
+	s.mux.HandleFunc("GET /v1/org/{id}", s.cached("/v1/org", s.handleOrg))
+	s.mux.HandleFunc("GET /v1/search", s.cached("/v1/search", s.handleSearch))
+	s.mux.HandleFunc("GET /v1/dataset", s.cached("/v1/dataset", s.handleDataset))
+	s.mux.HandleFunc("GET /healthz", s.instrumented("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.instrumented("/readyz", s.handleReadyz))
+	s.mux.HandleFunc("GET /metrics", s.instrumented("/metrics", s.handleMetrics))
+	s.mux.HandleFunc("/", s.instrumented("other", func(*http.Request) response {
+		return errResponse(http.StatusNotFound, "unknown endpoint")
+	}))
+	return s
+}
+
+// ServeHTTP dispatches to the route table.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Metrics exposes the registry (snapshots drive /metrics and tests).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// CacheStats exposes the response-cache accounting.
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// Serve accepts connections on ln until ctx is canceled, then shuts the
+// server down gracefully (in-flight requests get drainTimeout to
+// finish). It returns nil on a clean context-driven shutdown.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{Handler: s}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	const drainTimeout = 5 * time.Second
+	sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return err
+	}
+	<-errc // always http.ErrServerClosed after Shutdown
+	return nil
+}
+
+// response is a handler's materialized result, ready to write or cache.
+type response struct {
+	status      int
+	contentType string
+	body        []byte
+}
+
+// jsonResponse marshals v as an indented JSON response.
+func jsonResponse(status int, v any) response {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return errResponse(http.StatusInternalServerError, "encoding response")
+	}
+	return response{status: status, contentType: "application/json", body: buf.Bytes()}
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func errResponse(status int, msg string) response {
+	return jsonResponse(status, errorBody{Error: msg})
+}
+
+// instrumented wraps a handler with metrics accounting only (the
+// health/metrics endpoints must never serve stale cached state).
+func (s *Server) instrumented(endpoint string, fn func(*http.Request) response) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := s.metrics.Begin()
+		resp := fn(r)
+		s.write(w, resp)
+		s.metrics.End(endpoint, resp.status, start)
+	}
+}
+
+// cached wraps a handler with metrics plus the LRU response cache.
+// Every /v1 response is a pure function of the canonicalized request
+// (the Index is immutable), so hits and misses alike are cacheable —
+// including deterministic errors like a 400 for a malformed ASN.
+func (s *Server) cached(endpoint string, fn func(*http.Request) response) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := s.metrics.Begin()
+		key := endpoint + "\x00" + canonicalKey(r)
+		if hit, ok := s.cache.Get(key); ok {
+			s.write(w, response{status: hit.Status, contentType: hit.ContentType, body: hit.Body})
+			s.metrics.End(endpoint, hit.Status, start)
+			return
+		}
+		resp := fn(r)
+		s.cache.Put(key, CachedResponse{Status: resp.status, ContentType: resp.contentType, Body: resp.body})
+		s.write(w, resp)
+		s.metrics.End(endpoint, resp.status, start)
+	}
+}
+
+// canonicalKey reduces a request to its canonical lookup form so that
+// equivalent requests share one cache entry: country codes upper-cased,
+// ASNs numerically normalized (leading zeros dropped), search names
+// name-normalized, the effective search limit spelled out.
+func canonicalKey(r *http.Request) string {
+	if cc := r.PathValue("cc"); cc != "" {
+		return "cc:" + CanonicalCC(cc)
+	}
+	if asn := r.PathValue("asn"); asn != "" {
+		if n, err := strconv.ParseUint(asn, 10, 32); err == nil {
+			return "asn:" + strconv.FormatUint(n, 10)
+		}
+		return "asn-raw:" + asn
+	}
+	if id := r.PathValue("id"); id != "" {
+		return "id:" + id
+	}
+	if r.URL.Path == "/v1/search" {
+		q := r.URL.Query()
+		return "name:" + nameutil.Normalize(q.Get("name")) + "\x00limit:" + q.Get("limit")
+	}
+	return r.URL.Path
+}
+
+func (s *Server) write(w http.ResponseWriter, resp response) {
+	w.Header().Set("Content-Type", resp.contentType)
+	w.WriteHeader(resp.status)
+	_, _ = w.Write(resp.body)
+}
+
+// --- /v1 handlers ----------------------------------------------------------
+
+// ASNResponse answers "is this ASN state-owned, by whom, on what
+// evidence".
+type ASNResponse struct {
+	ASN world.ASN `json:"asn"`
+	// Status is "state-owned", "minority" or "none".
+	Status       string                  `json:"status"`
+	Organization *expand.OrgRecord       `json:"organization,omitempty"`
+	SiblingASNs  []world.ASN             `json:"sibling_asns,omitempty"`
+	Minority     []expand.MinorityRecord `json:"minority,omitempty"`
+}
+
+func (s *Server) handleASN(r *http.Request) response {
+	raw := r.PathValue("asn")
+	n, err := strconv.ParseUint(raw, 10, 32)
+	if err != nil || n == 0 {
+		return errResponse(http.StatusBadRequest, fmt.Sprintf("invalid ASN %q", raw))
+	}
+	a := world.ASN(n)
+	org, minority, owned := s.idx.ASN(a)
+	body := ASNResponse{ASN: a, Status: "none", Minority: minority}
+	status := http.StatusNotFound
+	switch {
+	case owned:
+		body.Status = "state-owned"
+		body.Organization = org.Record
+		body.SiblingASNs = org.ASNs
+		status = http.StatusOK
+	case len(minority) > 0:
+		body.Status = "minority"
+		status = http.StatusOK
+	}
+	return jsonResponse(status, body)
+}
+
+// OrgResponse is one organization with its ASNs.
+type OrgResponse struct {
+	Organization *expand.OrgRecord `json:"organization"`
+	ASNs         []world.ASN       `json:"asn"`
+}
+
+func (s *Server) handleOrg(r *http.Request) response {
+	id := r.PathValue("id")
+	org, ok := s.idx.Org(id)
+	if !ok {
+		return errResponse(http.StatusNotFound, fmt.Sprintf("unknown organization %q", id))
+	}
+	return jsonResponse(http.StatusOK, OrgResponse{Organization: org.Record, ASNs: org.ASNs})
+}
+
+// CountryResponse lists a country's state-owned operators, including
+// minority holdings.
+type CountryResponse struct {
+	CC            string                  `json:"cc"`
+	Organizations []OrgResponse           `json:"organizations"`
+	Minority      []expand.MinorityRecord `json:"minority,omitempty"`
+}
+
+func (s *Server) handleCountry(r *http.Request) response {
+	cc := CanonicalCC(r.PathValue("cc"))
+	if len(cc) != 2 || cc[0] < 'A' || cc[0] > 'Z' || cc[1] < 'A' || cc[1] > 'Z' {
+		return errResponse(http.StatusBadRequest, fmt.Sprintf("invalid country code %q", r.PathValue("cc")))
+	}
+	orgs, minority := s.idx.Country(cc)
+	body := CountryResponse{CC: cc, Organizations: []OrgResponse{}, Minority: minority}
+	for _, o := range orgs {
+		body.Organizations = append(body.Organizations, OrgResponse{Organization: o.Record, ASNs: o.ASNs})
+	}
+	return jsonResponse(http.StatusOK, body)
+}
+
+// SearchResponse is the fuzzy-name search result list. Query echoes the
+// normalized form the results were computed from.
+type SearchResponse struct {
+	Query string            `json:"query"`
+	Hits  []SearchHitRecord `json:"hits"`
+}
+
+// SearchHitRecord is one scored search hit.
+type SearchHitRecord struct {
+	Score        float64           `json:"score"`
+	Organization *expand.OrgRecord `json:"organization"`
+	ASNs         []world.ASN       `json:"asn"`
+}
+
+func (s *Server) handleSearch(r *http.Request) response {
+	q := r.URL.Query()
+	name := q.Get("name")
+	if nameutil.Normalize(name) == "" {
+		return errResponse(http.StatusBadRequest, "missing or empty ?name= query")
+	}
+	limit := s.limit
+	if rawLimit := q.Get("limit"); rawLimit != "" {
+		n, err := strconv.Atoi(rawLimit)
+		if err != nil || n <= 0 {
+			return errResponse(http.StatusBadRequest, fmt.Sprintf("invalid ?limit=%s", rawLimit))
+		}
+		if n < limit {
+			limit = n
+		}
+	}
+	body := SearchResponse{Query: nameutil.Normalize(name), Hits: []SearchHitRecord{}}
+	for _, h := range s.idx.Search(name, limit) {
+		body.Hits = append(body.Hits, SearchHitRecord{
+			Score: h.Score, Organization: h.Org.Record, ASNs: h.Org.ASNs,
+		})
+	}
+	return jsonResponse(http.StatusOK, body)
+}
+
+func (s *Server) handleDataset(*http.Request) response {
+	var buf bytes.Buffer
+	if err := s.idx.Dataset().Export(&buf); err != nil {
+		return errResponse(http.StatusInternalServerError, "exporting dataset")
+	}
+	return response{status: http.StatusOK, contentType: "application/json", body: buf.Bytes()}
+}
+
+// --- health and metrics ----------------------------------------------------
+
+func (s *Server) handleHealthz(*http.Request) response {
+	return jsonResponse(http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// SourceStatus is one pipeline source's row of the readiness report.
+type SourceStatus struct {
+	Name        string `json:"name"`
+	Status      string `json:"status"`
+	Dropped     int    `json:"dropped,omitempty"`
+	Corrupted   int    `json:"corrupted,omitempty"`
+	Quarantined int    `json:"quarantined,omitempty"`
+	Retries     int    `json:"retries,omitempty"`
+	LastError   string `json:"last_error,omitempty"`
+}
+
+// StageStatus is one degraded pipeline stage.
+type StageStatus struct {
+	Name string `json:"name"`
+	Note string `json:"note"`
+}
+
+// ReadyResponse summarizes the pipeline run's runner.Health: ready means
+// no source went unavailable (degraded-but-present sources still serve,
+// they are just listed).
+type ReadyResponse struct {
+	Ready          bool           `json:"ready"`
+	ChaosSeverity  float64        `json:"chaos_severity"`
+	Sources        []SourceStatus `json:"sources,omitempty"`
+	Degraded       []string       `json:"degraded_sources,omitempty"`
+	Unavailable    []string       `json:"unavailable_sources,omitempty"`
+	DegradedStages []StageStatus  `json:"degraded_stages,omitempty"`
+}
+
+func (s *Server) handleReadyz(*http.Request) response {
+	if s.health == nil {
+		return jsonResponse(http.StatusOK, ReadyResponse{Ready: true})
+	}
+	h := s.health
+	body := ReadyResponse{
+		ChaosSeverity: h.Severity,
+		Degraded:      h.DegradedSources(),
+		Unavailable:   h.UnavailableSources(),
+	}
+	for _, sh := range h.Sources() {
+		body.Sources = append(body.Sources, SourceStatus{
+			Name: sh.Name, Status: sh.Status.String(),
+			Dropped: sh.Dropped, Corrupted: sh.Corrupted, Quarantined: sh.Quarantined,
+			Retries: sh.Retries, LastError: sh.LastError,
+		})
+	}
+	for _, st := range h.DegradedStages() {
+		body.DegradedStages = append(body.DegradedStages, StageStatus{Name: st.Name, Note: st.Note})
+	}
+	body.Ready = len(body.Unavailable) == 0
+	status := http.StatusOK
+	if !body.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	return jsonResponse(status, body)
+}
+
+func (s *Server) handleMetrics(*http.Request) response {
+	snap := s.metrics.Snapshot()
+	snap.Cache = s.cache.Stats()
+	return jsonResponse(http.StatusOK, snap)
+}

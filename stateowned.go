@@ -28,6 +28,7 @@ package stateowned
 
 import (
 	"sort"
+	"sync"
 
 	"stateowned/internal/analysis"
 	"stateowned/internal/as2org"
@@ -44,6 +45,7 @@ import (
 	"stateowned/internal/orbis"
 	"stateowned/internal/peeringdb"
 	"stateowned/internal/runner"
+	"stateowned/internal/serve"
 	"stateowned/internal/topology"
 	"stateowned/internal/whois"
 	"stateowned/internal/world"
@@ -114,6 +116,18 @@ type Result struct {
 	// status, records dropped and quarantined, retries spent, stages that
 	// ran degraded. Always populated; all-healthy on a pristine run.
 	Health *runner.Health
+
+	indexOnce sync.Once
+	index     *serve.Index
+}
+
+// Index compiles (once, lazily) the run's dataset into the serving
+// index: O(1) ASN/country/org lookups and fuzzy name search, the
+// substrate of internal/serve's HTTP API and cmd/query. The index is
+// immutable and safe for concurrent readers.
+func (r *Result) Index() *serve.Index {
+	r.indexOnce.Do(func() { r.index = serve.BuildIndex(r.Dataset) })
+	return r.index
 }
 
 // AnalysisData bundles the run's artifacts for internal/analysis, which
