@@ -14,6 +14,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -153,6 +154,51 @@ func BenchmarkStage3Expand(b *testing.B) {
 func BenchmarkFullPipeline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		Run(Config{Seed: 42, Scale: benchScale})
+	}
+}
+
+// --- Scheduler benchmarks ---------------------------------------------------
+
+// benchRunScales are the world sizes the serial-vs-parallel comparison
+// runs at; EXPERIMENTS.md records the speedups. Scale 2.0 takes tens of
+// seconds per iteration — select these benches explicitly
+// (-bench 'BenchmarkRun(Serial|Parallel)') rather than with -bench=.
+// on a slow machine.
+var benchRunScales = []float64{0.5, 1.0, 2.0}
+
+func benchRunAt(b *testing.B, scale float64, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		Run(Config{Seed: 42, Scale: scale, Workers: workers})
+	}
+}
+
+// BenchmarkRunSerial is the canonical serial schedule (Workers=1 —
+// which also forces BGP path collection and per-country CTI serial, so
+// this really is the single-threaded cost, not a GOMAXPROCS run in
+// disguise).
+func BenchmarkRunSerial(b *testing.B) {
+	for _, scale := range benchRunScales {
+		b.Run(fmt.Sprintf("scale%.1f", scale), func(b *testing.B) {
+			benchRunAt(b, scale, 1)
+		})
+	}
+}
+
+// BenchmarkRunParallel is the same pipeline on the scheduler pool. The
+// worker count is GOMAXPROCS but at least 4, so on small hosts the
+// comparison degenerates to measuring scheduler overhead on an
+// oversubscribed pool rather than real speedup — EXPERIMENTS.md records
+// which case a given table came from.
+func BenchmarkRunParallel(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	for _, scale := range benchRunScales {
+		b.Run(fmt.Sprintf("scale%.1f", scale), func(b *testing.B) {
+			benchRunAt(b, scale, workers)
+		})
 	}
 }
 

@@ -4,13 +4,15 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-scale F] [-only section[,section...]] [-chaos-seed N]
+//	experiments [-seed N] [-scale F] [-workers N] [-only section[,section...]] [-chaos-seed N]
 //
 // Sections: stage1, headline, figure1, figure3, figure4, figure5,
 // figure6, figure7, table1..table8, rirshares, appendixE, orbis, score,
-// robustness. Default: all except robustness — the degradation-curve
-// sweep reruns the whole pipeline at six fault severities, so it only
-// runs when selected explicitly.
+// timings, robustness. Default: all except timings and robustness —
+// timings reports nondeterministic per-node build wall times (every
+// other section is byte-reproducible for a seed), and the
+// degradation-curve sweep reruns the whole pipeline at six fault
+// severities; both only run when selected explicitly.
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 func main() {
 	seed := flag.Uint64("seed", 42, "world seed")
 	scale := flag.Float64("scale", 1.0, "world scale (stub-AS multiplier)")
+	workers := flag.Int("workers", 0, "build-scheduler pool size (0 = GOMAXPROCS, 1 = serial; results are identical either way)")
 	only := flag.String("only", "", "comma-separated list of sections (default: all)")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "fault-plan seed for the robustness sweep (0 = derive from -seed)")
 	csvDir := flag.String("csv", "", "also write figure data as CSV files into this directory")
@@ -38,6 +41,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments: invalid -scale: must be > 0")
 		os.Exit(2)
 	}
+	if *workers < 0 {
+		fmt.Fprintln(os.Stderr, "experiments: invalid -workers: must be >= 0")
+		os.Exit(2)
+	}
 
 	want := map[string]bool{}
 	for _, s := range strings.Split(*only, ",") {
@@ -45,10 +52,12 @@ func main() {
 			want[s] = true
 		}
 	}
-	// The robustness sweep is opt-in: it reruns the full pipeline once per
-	// severity and would multiply the default invocation's cost.
+	// Two sections are opt-in: the robustness sweep reruns the full
+	// pipeline once per severity and would multiply the default
+	// invocation's cost, and timings is the one nondeterministic section
+	// (measured wall times) in an otherwise byte-reproducible report.
 	sel := func(name string) bool {
-		if name == "robustness" {
+		if name == "robustness" || name == "timings" {
 			return want[name]
 		}
 		return len(want) == 0 || want[name]
@@ -92,6 +101,7 @@ func main() {
 		{"appendixE", func() string { return analysis.RenderAppendixE(analysis.ComputeAppendixE(d)) }},
 		{"orbis", func() string { return analysis.RenderOrbisAudit(analysis.ComputeOrbisAudit(d, res.Orbis)) }},
 		{"score", func() string { return renderScores(d) }},
+		{"timings", func() string { return res.Health.RenderTimings() }},
 		{"robustness", func() string { return renderRobustness(*seed, *scale, *chaosSeed, res) }},
 	}
 	known := map[string]bool{}
@@ -111,7 +121,7 @@ func main() {
 	}
 
 	fmt.Fprintf(os.Stderr, "running pipeline (seed=%d scale=%.2f)...\n", *seed, *scale)
-	res = stateowned.Run(stateowned.Config{Seed: *seed, Scale: *scale})
+	res = stateowned.Run(stateowned.Config{Seed: *seed, Scale: *scale, Workers: *workers})
 	d = res.AnalysisData()
 
 	for _, s := range sections {

@@ -4,11 +4,15 @@
 //
 // Usage:
 //
-//	pipeline [-seed N] [-scale F] [-monitors N] [-chaos F] [-chaos-seed N] [-o dataset.json]
+//	pipeline [-seed N] [-scale F] [-monitors N] [-workers N] [-chaos F] [-chaos-seed N] [-o dataset.json]
 //
 // With -chaos > 0 the run executes under a seeded fault plan (monitor
 // outages, registry record loss and corruption, Orbis timeouts, missing
 // documents) and prints the hardened runner's health report.
+//
+// -workers bounds the build scheduler's pool: independent data-source
+// builds run concurrently, with output bit-identical to -workers 1 (the
+// canonical serial schedule). 0 selects GOMAXPROCS.
 package main
 
 import (
@@ -26,6 +30,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "world seed")
 	scale := flag.Float64("scale", 1.0, "world scale")
 	monitors := flag.Int("monitors", 0, "BGP vantage-point count (0 = default 60)")
+	workers := flag.Int("workers", 0, "build-scheduler pool size (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
 	chaos := flag.Float64("chaos", 0, "fault-injection severity in [0,1] (0 = off)")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "fault-plan seed (0 = derive from -seed)")
 	out := flag.String("o", "dataset.json", "output path for the dataset JSON")
@@ -39,13 +44,17 @@ func main() {
 		log.Println("invalid -monitors: must be >= 0")
 		os.Exit(2)
 	}
+	if *workers < 0 {
+		log.Println("invalid -workers: must be >= 0")
+		os.Exit(2)
+	}
 	if *chaos < 0 || *chaos > 1 {
 		log.Println("invalid -chaos: severity must be in [0,1]")
 		os.Exit(2)
 	}
 
 	res := stateowned.Run(stateowned.Config{
-		Seed: *seed, Scale: *scale, Monitors: *monitors,
+		Seed: *seed, Scale: *scale, Monitors: *monitors, Workers: *workers,
 		ChaosSeverity: *chaos, ChaosSeed: *chaosSeed,
 	})
 

@@ -7,11 +7,13 @@
 //
 // Usage:
 //
-//	serve [-addr :8080] [-seed N] [-scale F] [-chaos F] [-chaos-seed N] [-cache N]
+//	serve [-addr :8080] [-seed N] [-scale F] [-workers N] [-chaos F] [-chaos-seed N] [-cache N]
 //
 // With -chaos > 0 the pipeline builds under a seeded fault plan and
 // /readyz reflects the degraded sources (503 when a source went
-// unavailable).
+// unavailable). -workers bounds the build scheduler's pool for the
+// startup pipeline run (0 = GOMAXPROCS; the served dataset is identical
+// for every worker count); /metrics reports the per-node build times.
 package main
 
 import (
@@ -34,6 +36,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks an ephemeral port)")
 	seed := flag.Uint64("seed", 42, "world seed")
 	scale := flag.Float64("scale", 1.0, "world scale")
+	workers := flag.Int("workers", 0, "build-scheduler pool size (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
 	chaos := flag.Float64("chaos", 0, "fault-injection severity in [0,1] (0 = off)")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "fault-plan seed (0 = derive from -seed)")
 	cacheSize := flag.Int("cache", 1024, "response-cache capacity in entries (0 disables caching)")
@@ -41,6 +44,10 @@ func main() {
 
 	if *scale <= 0 {
 		log.Println("invalid -scale: must be > 0")
+		os.Exit(2)
+	}
+	if *workers < 0 {
+		log.Println("invalid -workers: must be >= 0")
 		os.Exit(2)
 	}
 	if *chaos < 0 || *chaos > 1 {
@@ -60,7 +67,7 @@ func main() {
 
 	log.Printf("building dataset (seed %d, scale %g, chaos %g)...", *seed, *scale, *chaos)
 	res := stateowned.Run(stateowned.Config{
-		Seed: *seed, Scale: *scale,
+		Seed: *seed, Scale: *scale, Workers: *workers,
 		ChaosSeverity: *chaos, ChaosSeed: *chaosSeed,
 	})
 	idx := res.Index()

@@ -1,0 +1,99 @@
+package stateowned
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// update regenerates the golden snapshot instead of comparing against it:
+//
+//	go test -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files from the current pipeline output")
+
+const (
+	goldenSeed  = 42
+	goldenScale = 0.08
+	goldenFile  = "golden_seed42.json"
+)
+
+// TestGoldenDataset pins the seed-42 Listing-1 dataset byte for byte.
+// Any intentional change to the world generator, the pipeline, or the
+// export schema shows up here as a readable diff; regenerate with
+// `go test -run Golden -update` and review the delta like any other
+// code change.
+func TestGoldenDataset(t *testing.T) {
+	got := exportBytes(t, Run(Config{Seed: goldenSeed, Scale: goldenScale}))
+	path := filepath.Join("testdata", goldenFile)
+
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with `go test -run Golden -update`): %v", err)
+	}
+	if bytes.Equal(got, want) {
+		return
+	}
+	t.Errorf("seed-%d dataset drifted from %s:\n%s\nif the change is intentional, regenerate with `go test -run Golden -update`",
+		goldenSeed, path, firstDiff(want, got))
+}
+
+// firstDiff renders the first divergent line with a few lines of context
+// on each side — enough to see what moved without dumping the whole
+// dataset into the test log.
+func firstDiff(want, got []byte) string {
+	wl := strings.Split(string(want), "\n")
+	gl := strings.Split(string(got), "\n")
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	line := n // first divergence is a length difference unless found below
+	for i := 0; i < n; i++ {
+		if wl[i] != gl[i] {
+			line = i
+			break
+		}
+	}
+	if line == n && len(wl) == len(gl) {
+		return "(no line-level difference; byte-level difference only)"
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "first difference at line %d (golden has %d lines, got %d):\n", line+1, len(wl), len(gl))
+	const ctx = 3
+	start := line - ctx
+	if start < 0 {
+		start = 0
+	}
+	write := func(label string, lines []string) {
+		end := line + ctx + 1
+		if end > len(lines) {
+			end = len(lines)
+		}
+		for i := start; i < end; i++ {
+			marker := " "
+			if i == line {
+				marker = ">"
+			}
+			fmt.Fprintf(&b, "%s %s %4d | %s\n", marker, label, i+1, lines[i])
+		}
+	}
+	write("golden", wl)
+	write("   got", gl)
+	return b.String()
+}

@@ -279,15 +279,20 @@ type MonitorPaths struct {
 // paths. Origins outside the graph are skipped.
 //
 // Per-origin propagations are independent, so they run on a bounded
-// worker pool; results are merged deterministically (each worker owns a
-// disjoint slice of origins, and the merged maps are keyed by origin).
-func CollectPaths(g *topology.Graph, monitors []Monitor, origins []world.ASN) *MonitorPaths {
+// worker pool of the given size (<= 0 selects GOMAXPROCS, 1 is fully
+// serial — the pipeline's Workers knob plumbs through here so a serial
+// run really is serial); results are merged deterministically (each
+// worker owns a disjoint slice of origins, and the merged maps are
+// keyed by origin).
+func CollectPaths(g *topology.Graph, monitors []Monitor, origins []world.ASN, workers int) *MonitorPaths {
 	mp := &MonitorPaths{Monitors: monitors, paths: make([]map[world.ASN][]world.ASN, len(monitors))}
 	for i := range mp.paths {
 		mp.paths[i] = make(map[world.ASN][]world.ASN)
 	}
 
-	workers := runtime.GOMAXPROCS(0)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(origins) {
 		workers = len(origins)
 	}

@@ -183,7 +183,7 @@ func TestPathConsistency(t *testing.T) {
 func TestCollectPaths(t *testing.T) {
 	monitors := SelectMonitors(testW, testG, 20)
 	origins := []world.ASN{7473, 2119, 11960}
-	mp := CollectPaths(testG, monitors, origins)
+	mp := CollectPaths(testG, monitors, origins, 0)
 	found := 0
 	for mi := range monitors {
 		for _, o := range origins {

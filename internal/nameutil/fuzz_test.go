@@ -1,7 +1,9 @@
 package nameutil
 
 import (
+	"strings"
 	"testing"
+	"unicode"
 	"unicode/utf8"
 )
 
@@ -35,6 +37,60 @@ func FuzzSimilarity(f *testing.F) {
 		}
 		if Normalize(a) != "" && Similarity(a, a) != 1 {
 			t.Fatalf("non-reflexive for %q", a)
+		}
+	})
+}
+
+// FuzzSearchName drives the full name-search path — tokenization,
+// normalization, ranked matching — with one arbitrary query, enforcing
+// the invariants the AS-to-company mapper and the serve index's fuzzy
+// search rely on: no panics, tokens lower-cased and whitespace-free,
+// idempotent normalization, in-range BestMatch results.
+func FuzzSearchName(f *testing.F) {
+	for _, seed := range []string{
+		"Telecom Argentina S.A.",
+		"S.A.",
+		"TELEKOM SRBIJA a.d.",
+		"Türk Telekomünikasyon A.Ş.",
+		"中国电信",
+		"Ooredoo Q.S.C.",
+		"   ",
+		"",
+		"a",
+		"café-net GmbH & Co. KG",
+		"\xff\xfe invalid utf8",
+		strings.Repeat("ab ", 50),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		toks := Tokens(name)
+		for _, tok := range toks {
+			if tok == "" {
+				t.Fatalf("Tokens(%q) produced an empty token: %q", name, toks)
+			}
+			if strings.ContainsFunc(tok, unicode.IsSpace) {
+				t.Fatalf("Tokens(%q) produced a token with whitespace: %q", name, tok)
+			}
+			if tok != strings.ToLower(tok) {
+				t.Fatalf("Tokens(%q) produced a non-lower-cased token: %q", name, tok)
+			}
+		}
+
+		norm := Normalize(name)
+		if got := Normalize(norm); got != norm {
+			t.Fatalf("Normalize not idempotent on %q: %q -> %q", name, norm, got)
+		}
+
+		idx, score := BestMatch(name, []string{"Telecom Argentina S.A.", "Antel", name})
+		if idx < 0 || idx > 2 {
+			t.Fatalf("BestMatch(%q) index %d out of range", name, idx)
+		}
+		if score < 0 || score > 1 {
+			t.Fatalf("BestMatch(%q) score %v out of [0,1]", name, score)
+		}
+		if idx, score := BestMatch(name, nil); idx != -1 || score != 0 {
+			t.Fatalf("BestMatch(%q, nil) = (%d, %v), want (-1, 0)", name, idx, score)
 		}
 	})
 }

@@ -15,6 +15,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // EntityID uniquely identifies an entity in the graph.
@@ -69,15 +70,20 @@ type Holding struct {
 const MajorityThreshold = 0.50
 
 // Graph is an equity graph. It is append-only: entities and holdings are
-// added during world generation and then analyzed.
+// added during world generation (single-goroutine) and then analyzed.
+// The analysis entry points are safe for concurrent readers — the lazy
+// control memo is filled under a mutex, so parallel build nodes may all
+// query a frozen graph — but mutation must not overlap with reads.
 type Graph struct {
 	entities map[EntityID]*Entity
 	inbound  map[EntityID][]Holding // holdings by target
 	outbound map[EntityID][]Holding // holdings by holder
 
-	// analysis caches, invalidated on mutation
-	control map[EntityID]Control
-	dirty   bool
+	// analysis caches, invalidated on mutation; resolveMu serializes the
+	// fill so concurrent readers of a frozen graph never race on it.
+	resolveMu sync.Mutex
+	control   map[EntityID]Control
+	dirty     bool
 }
 
 // Control describes the resolved state-control status of an entity.
@@ -254,6 +260,8 @@ func (g *Graph) HoldingsOf(holder EntityID) []Holding {
 // iterations (control is only ever granted), so the loop terminates; the
 // iteration cap is a defensive bound, not a correctness requirement.
 func (g *Graph) resolve() {
+	g.resolveMu.Lock()
+	defer g.resolveMu.Unlock()
 	if !g.dirty && g.control != nil {
 		return
 	}

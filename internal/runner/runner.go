@@ -16,6 +16,8 @@ package runner
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"time"
 
 	"stateowned/internal/faults"
 	"stateowned/internal/report"
@@ -126,12 +128,33 @@ type StageHealth struct {
 	Note     string
 }
 
+// NodeTiming is one build-graph node's measured wall time. Timings are
+// measurement, not simulation: they vary run to run and machine to
+// machine, so they are kept out of Render (the diffable report) and out
+// of determinism comparisons, and surfaced separately (RenderTimings,
+// /metrics).
+type NodeTiming struct {
+	Node string
+	Wall time.Duration
+}
+
 // Health is the structured degradation report attached to a Result.
+// Its mutating methods are safe for concurrent use: with the parallel
+// build scheduler, substrate nodes report damage from pool goroutines.
+// Each source row is still owned by exactly one node, so the row's
+// fields need no lock of their own — only the shared map, order and
+// stage list do.
 type Health struct {
 	// Severity echoes the fault plan's severity (0 = pristine run).
 	Severity float64
-	Stages   []StageHealth
+	// Workers records the scheduler pool size the run executed with
+	// (1 = the canonical serial schedule).
+	Workers int
+	Stages  []StageHealth
+	// Timings lists per-build-node wall time in build-graph order.
+	Timings []NodeTiming
 
+	mu      sync.Mutex
 	sources map[string]*SourceHealth
 	order   []string
 }
@@ -141,8 +164,8 @@ func NewHealth(severity float64) *Health {
 	return &Health{Severity: severity, sources: map[string]*SourceHealth{}}
 }
 
-// Source returns (creating on first use) the named source's row.
-func (h *Health) Source(name string) *SourceHealth {
+// source is the lock-free row lookup; callers hold h.mu.
+func (h *Health) source(name string) *SourceHealth {
 	sh := h.sources[name]
 	if sh == nil {
 		sh = &SourceHealth{Name: name}
@@ -152,8 +175,17 @@ func (h *Health) Source(name string) *SourceHealth {
 	return sh
 }
 
+// Source returns (creating on first use) the named source's row.
+func (h *Health) Source(name string) *SourceHealth {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.source(name)
+}
+
 // Sources lists the rows in first-touch order.
 func (h *Health) Sources() []*SourceHealth {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	out := make([]*SourceHealth, 0, len(h.order))
 	for _, name := range h.order {
 		out = append(out, h.sources[name])
@@ -164,7 +196,9 @@ func (h *Health) Sources() []*SourceHealth {
 // NoteDamage records injection damage against a source and degrades its
 // status accordingly.
 func (h *Health) NoteDamage(source string, dmg faults.Damage) {
-	sh := h.Source(source)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sh := h.source(source)
 	sh.Dropped += dmg.Dropped
 	sh.Corrupted += dmg.Corrupted
 	if !dmg.Zero() {
@@ -174,7 +208,9 @@ func (h *Health) NoteDamage(source string, dmg faults.Damage) {
 
 // NoteQuarantined records how many corrupt records validation removed.
 func (h *Health) NoteQuarantined(source string, n int) {
-	sh := h.Source(source)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sh := h.source(source)
 	sh.Quarantined += n
 	if n > 0 {
 		sh.degrade(Degraded)
@@ -183,20 +219,29 @@ func (h *Health) NoteQuarantined(source string, n int) {
 
 // MarkUnavailable trips a source to unavailable with a reason.
 func (h *Health) MarkUnavailable(source, reason string) {
-	sh := h.Source(source)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sh := h.source(source)
 	sh.degrade(Unavailable)
 	if reason != "" {
 		sh.LastError = reason
 	}
 }
 
-// MarkStage records a stage outcome.
+// MarkStage records a stage outcome. When stages run inside parallel
+// scheduler nodes, callers must buffer their notes per node and flush
+// them in canonical node order — concurrent MarkStage calls are safe
+// but their interleaving is not deterministic.
 func (h *Health) MarkStage(name string, degraded bool, note string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	h.Stages = append(h.Stages, StageHealth{Name: name, Degraded: degraded, Note: note})
 }
 
 // DegradedSources lists sources whose status is not healthy.
 func (h *Health) DegradedSources() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	var out []string
 	for _, name := range h.order {
 		if h.sources[name].Status != Healthy {
@@ -208,6 +253,8 @@ func (h *Health) DegradedSources() []string {
 
 // UnavailableSources lists sources whose circuit tripped.
 func (h *Health) UnavailableSources() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	var out []string
 	for _, name := range h.order {
 		if h.sources[name].Status == Unavailable {
@@ -219,6 +266,8 @@ func (h *Health) UnavailableSources() []string {
 
 // Quarantined totals the records validation removed across sources.
 func (h *Health) Quarantined() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	n := 0
 	for _, sh := range h.sources {
 		n += sh.Quarantined
@@ -228,6 +277,8 @@ func (h *Health) Quarantined() int {
 
 // Dropped totals the records silently lost across sources.
 func (h *Health) Dropped() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	n := 0
 	for _, sh := range h.sources {
 		n += sh.Dropped
@@ -237,6 +288,8 @@ func (h *Health) Dropped() int {
 
 // Retries totals retry attempts across sources.
 func (h *Health) Retries() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	n := 0
 	for _, sh := range h.sources {
 		n += sh.Retries
@@ -276,10 +329,29 @@ func (h *Health) Render() string {
 			fmt.Fprintf(&b, "  %-20s %-9s %s\n", st.Name, state, st.Note)
 		}
 	}
+	h.mu.Lock()
+	rows := len(h.order)
+	h.mu.Unlock()
 	fmt.Fprintf(&b, "\nsummary: %d/%d sources degraded (%d unavailable), %d records dropped, %d quarantined, %d retries\n",
-		len(h.DegradedSources()), len(h.order), len(h.UnavailableSources()),
+		len(h.DegradedSources()), rows, len(h.UnavailableSources()),
 		h.Dropped(), h.Quarantined(), h.Retries())
 	return b.String()
+}
+
+// RenderTimings formats the per-node wall-time profile as a table. It
+// lives outside Render because wall times are nondeterministic: Render
+// stays byte-diffable across runs, timings are observability.
+func (h *Health) RenderTimings() string {
+	t := report.NewTable(
+		fmt.Sprintf("Build-node wall time (%d workers)", h.Workers),
+		"node", "wall")
+	var total time.Duration
+	for _, nt := range h.Timings {
+		t.AddRow(nt.Node, nt.Wall.Round(time.Microsecond).String())
+		total += nt.Wall
+	}
+	t.AddRow("(sum of nodes)", total.Round(time.Microsecond).String())
+	return t.String()
 }
 
 // Do executes one substrate build under the hardened contract: up to

@@ -1,0 +1,262 @@
+// Package sched is the deterministic build-graph scheduler the pipeline
+// runs its substrate builds on. A Graph declares the dependency DAG
+// explicitly — every node names the nodes it needs — and Run executes
+// ready nodes on a bounded worker pool. Determinism is the design
+// constraint the whole package bends around:
+//
+//   - dependencies must already be declared when a node is added, so
+//     cycles are unrepresentable and declaration order is a topological
+//     order — the canonical serial execution order;
+//   - the ready queue is ordered by declaration index, so Run(1)
+//     executes nodes in exactly that serial order on the calling
+//     goroutine, and Run(n) merely overlaps independent nodes without
+//     changing what any node computes;
+//   - every node runs behind a panic guard, so a panicking build on a
+//     pool goroutine is contained as a node error instead of killing
+//     the process (a recover in the caller cannot reach a goroutine's
+//     panic — the guard has to live inside the node wrapper).
+//
+// Nodes that have failed or panicked do not cancel their dependents:
+// the pipeline's contract is graceful degradation, so downstream nodes
+// run against whatever state survived and are themselves guarded.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PanicError wraps a panic recovered inside a scheduled node or a
+// ParallelFor iteration.
+type PanicError struct {
+	// Node is the name of the node (or parallel-for iteration) that
+	// panicked.
+	Node string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("node %q panicked: %v", e.Node, e.Value)
+}
+
+// NodeResult records one node's execution: its measured wall time and
+// the error (or guarded panic) it produced. Wall times are measurement,
+// not simulation — they vary run to run and must never feed back into
+// pipeline output.
+type NodeResult struct {
+	Name string
+	Wall time.Duration
+	Err  error
+}
+
+type node struct {
+	name string
+	fn   func() error
+	deps []int
+}
+
+// Graph is a build DAG under construction. Declare nodes with Add, then
+// execute with Run. A Graph is not safe for concurrent mutation; Run
+// may be called once the graph is fully declared.
+type Graph struct {
+	nodes  []node
+	byName map[string]int
+}
+
+// New returns an empty graph.
+func New() *Graph { return &Graph{byName: map[string]int{}} }
+
+// Add declares a node computing fn after all deps. Dependencies must
+// already be declared: that makes cycles unrepresentable by
+// construction and declaration order a topological order. Add panics on
+// a duplicate name, a nil fn, or an undeclared dependency — the graph
+// is static program structure, so these are programming errors, not
+// runtime conditions.
+func (g *Graph) Add(name string, fn func() error, deps ...string) {
+	if _, dup := g.byName[name]; dup {
+		panic(fmt.Sprintf("sched: duplicate node %q", name))
+	}
+	if fn == nil {
+		panic(fmt.Sprintf("sched: node %q has nil fn", name))
+	}
+	idxs := make([]int, len(deps))
+	for i, d := range deps {
+		di, ok := g.byName[d]
+		if !ok {
+			panic(fmt.Sprintf("sched: node %q depends on undeclared node %q", name, d))
+		}
+		idxs[i] = di
+	}
+	g.byName[name] = len(g.nodes)
+	g.nodes = append(g.nodes, node{name: name, fn: fn, deps: idxs})
+}
+
+// Len reports how many nodes are declared.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Workers resolves a worker-count config: n <= 0 selects GOMAXPROCS.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Run executes the graph on up to Workers(workers) pool goroutines and
+// returns one NodeResult per node, in declaration order. With one
+// worker, nodes run on the calling goroutine in declaration order — the
+// canonical serial schedule. With more, whenever several nodes are
+// ready the lowest declaration index starts first, so the assignment of
+// work to time is the only thing concurrency changes.
+func (g *Graph) Run(workers int) []NodeResult {
+	workers = Workers(workers)
+	if workers > len(g.nodes) {
+		workers = len(g.nodes)
+	}
+	results := make([]NodeResult, len(g.nodes))
+	if workers <= 1 {
+		for i := range g.nodes {
+			results[i] = runNode(&g.nodes[i])
+		}
+		return results
+	}
+
+	dependents := make([][]int, len(g.nodes))
+	waiting := make([]int, len(g.nodes))
+	for i := range g.nodes {
+		waiting[i] = len(g.nodes[i].deps)
+		for _, d := range g.nodes[i].deps {
+			dependents[d] = append(dependents[d], i)
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		cond      = sync.NewCond(&mu)
+		ready     []int // ascending declaration indices
+		completed int
+	)
+	insertReady := func(i int) {
+		at := len(ready)
+		for at > 0 && ready[at-1] > i {
+			at--
+		}
+		ready = append(ready, 0)
+		copy(ready[at+1:], ready[at:])
+		ready[at] = i
+	}
+	for i := range g.nodes {
+		if waiting[i] == 0 {
+			insertReady(i)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			for completed < len(g.nodes) {
+				if len(ready) == 0 {
+					cond.Wait()
+					continue
+				}
+				i := ready[0]
+				ready = ready[1:]
+				mu.Unlock()
+				r := runNode(&g.nodes[i])
+				mu.Lock()
+				results[i] = r
+				completed++
+				for _, d := range dependents[i] {
+					if waiting[d]--; waiting[d] == 0 {
+						insertReady(d)
+					}
+				}
+				cond.Broadcast()
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// runNode executes one node behind the timing and panic guard.
+func runNode(n *node) NodeResult {
+	res := NodeResult{Name: n.name}
+	start := time.Now()
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				res.Err = &PanicError{Node: n.name, Value: r, Stack: debug.Stack()}
+			}
+		}()
+		res.Err = n.fn()
+	}()
+	res.Wall = time.Since(start)
+	return res
+}
+
+// ParallelFor runs fn(0) … fn(n-1) on up to Workers(workers) pool
+// goroutines and returns when all have finished. The result is
+// deterministic as long as each iteration writes only i-owned state
+// (e.g. slot i of a results slice). A panic in any iteration is
+// re-raised on the calling goroutine once all iterations have settled
+// (lowest index wins, so even the choice of panic is deterministic) —
+// this keeps an enclosing panic guard, such as a Graph node wrapper,
+// able to contain it; a bare goroutine panic would kill the process.
+func ParallelFor(workers, n int, fn func(i int)) {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	panics := make([]*PanicError, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panics[i] = &PanicError{
+								Node:  fmt.Sprintf("parallel-for[%d]", i),
+								Value: r,
+								Stack: debug.Stack(),
+							}
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// FuzzServeASNPath drives the /v1/asn/{asn} handler with arbitrary path
+// segments. The handler's contract: never panic, answer only 200, 400
+// or 404, and always produce a JSON body — no matter what the path
+// parser hands it (overflow, signs, leading zeros, percent-escapes,
+// non-digits, empty).
+func FuzzServeASNPath(f *testing.F) {
+	for _, seed := range []string{
+		"100", "101", "0", "00100", "007",
+		"4294967295", "4294967296", "18446744073709551616",
+		"-1", "+1", "1e3", " 100", "100 ", "abc", "", ".", "..",
+		"0x64", "１００", "100/extra", "%31%30%30", "\x00",
+		strings.Repeat("9", 500),
+	} {
+		f.Add(seed)
+	}
+
+	srv := New(BuildIndex(fixtureDataset()), Options{CacheSize: 8})
+	f.Fuzz(func(t *testing.T, raw string) {
+		// Build the request the way a client would: escape the segment so
+		// arbitrary bytes survive URL parsing; skip inputs even the escaper
+		// cannot make a valid request-target from.
+		target := "/v1/asn/" + url.PathEscape(raw)
+		if _, err := url.ParseRequestURI(target); err != nil {
+			t.Skip("unroutable request target")
+		}
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, httptest.NewRequest(http.MethodGet, target, nil))
+
+		switch w.Code {
+		case http.StatusMovedPermanently:
+			// Dot segments ("." / "..") are canonicalized by the stdlib mux
+			// with a redirect before the handler ever runs.
+			return
+		case http.StatusOK, http.StatusBadRequest, http.StatusNotFound:
+		default:
+			t.Fatalf("GET %q: unexpected status %d (body %q)", target, w.Code, w.Body)
+		}
+		if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Fatalf("GET %q: content-type %q, want application/json", target, ct)
+		}
+		if !json.Valid(w.Body.Bytes()) {
+			t.Fatalf("GET %q: invalid JSON body %q", target, w.Body)
+		}
+	})
+}

@@ -112,13 +112,24 @@ type EndpointSnapshot struct {
 	Histogram [latencyBuckets]uint64 `json:"latency_histogram"`
 }
 
+// BuildNodeTiming is one pipeline build node's measured wall time as
+// exposed on /metrics — the serving-side view of runner.NodeTiming.
+type BuildNodeTiming struct {
+	Node   string  `json:"node"`
+	WallMS float64 `json:"wall_ms"`
+}
+
 // Snapshot is the full registry state at one instant, the JSON body of
-// /metrics.
+// /metrics. BuildWorkers and BuildNodes describe the pipeline run that
+// produced the served dataset (filled by the server when it holds a
+// health report; absent otherwise).
 type Snapshot struct {
-	InFlight  int                `json:"in_flight"`
-	Requests  uint64             `json:"requests"`
-	Endpoints []EndpointSnapshot `json:"endpoints"`
-	Cache     CacheStats         `json:"cache"`
+	InFlight     int                `json:"in_flight"`
+	Requests     uint64             `json:"requests"`
+	Endpoints    []EndpointSnapshot `json:"endpoints"`
+	Cache        CacheStats         `json:"cache"`
+	BuildWorkers int                `json:"build_workers,omitempty"`
+	BuildNodes   []BuildNodeTiming  `json:"build_nodes,omitempty"`
 }
 
 // Snapshot captures the registry (endpoints sorted by name for a stable

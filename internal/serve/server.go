@@ -373,5 +373,14 @@ func (s *Server) handleReadyz(*http.Request) response {
 func (s *Server) handleMetrics(*http.Request) response {
 	snap := s.metrics.Snapshot()
 	snap.Cache = s.cache.Stats()
+	if s.health != nil {
+		snap.BuildWorkers = s.health.Workers
+		for _, nt := range s.health.Timings {
+			snap.BuildNodes = append(snap.BuildNodes, BuildNodeTiming{
+				Node:   nt.Node,
+				WallMS: float64(nt.Wall) / float64(time.Millisecond),
+			})
+		}
+	}
 	return jsonResponse(http.StatusOK, snap)
 }

@@ -255,6 +255,32 @@ func TestMetricsEndpoint(t *testing.T) {
 	if out := snap.Render(); !strings.Contains(out, "/v1/asn") {
 		t.Fatalf("render output missing endpoint:\n%s", out)
 	}
+
+	// Without a health report the build-timing fields stay absent.
+	if snap.BuildWorkers != 0 || len(snap.BuildNodes) != 0 {
+		t.Fatalf("unexpected build timings without health: %+v", snap)
+	}
+}
+
+func TestMetricsBuildTimings(t *testing.T) {
+	h := runner.NewHealth(0)
+	h.Workers = 4
+	h.Timings = []runner.NodeTiming{
+		{Node: "world", Wall: 1500 * 1000}, // 1.5ms in ns
+		{Node: "stage1", Wall: 250 * 1000},
+	}
+	s := newTestServer(t, Options{Health: h})
+
+	snap := decode[Snapshot](t, do(t, s, "/metrics"))
+	if snap.BuildWorkers != 4 {
+		t.Fatalf("build workers = %d, want 4", snap.BuildWorkers)
+	}
+	if len(snap.BuildNodes) != 2 || snap.BuildNodes[0].Node != "world" {
+		t.Fatalf("build nodes = %+v", snap.BuildNodes)
+	}
+	if snap.BuildNodes[0].WallMS != 1.5 {
+		t.Fatalf("world wall = %v ms, want 1.5", snap.BuildNodes[0].WallMS)
+	}
 }
 
 func TestLatencyBuckets(t *testing.T) {

@@ -1,0 +1,117 @@
+package stateowned
+
+import (
+	"strings"
+	"testing"
+
+	"stateowned/internal/runner"
+)
+
+// These tests prove the scheduler's panic guard: a build that panics
+// inside a pool goroutine must not kill the run (a bare goroutine panic
+// would crash the whole process — the guard has to live inside the node
+// wrapper, not around the scheduler call). The panicking node degrades
+// like any other failed source and the pipeline completes on what's
+// left.
+
+// withBuildHook installs a test build hook and removes it when the test
+// ends. The hook mechanism is process-global, so these tests cannot run
+// in parallel with other pipeline runs.
+func withBuildHook(t *testing.T, hook func(node string)) {
+	t.Helper()
+	if buildHook != nil {
+		t.Fatal("buildHook already installed")
+	}
+	buildHook = hook
+	t.Cleanup(func() { buildHook = nil })
+}
+
+func sourceRow(t *testing.T, h *runner.Health, name string) *runner.SourceHealth {
+	t.Helper()
+	for _, sh := range h.Sources() {
+		if sh.Name == name {
+			return sh
+		}
+	}
+	t.Fatalf("no health row for source %q", name)
+	return nil
+}
+
+func TestPanickingSourceBuildContained(t *testing.T) {
+	withBuildHook(t, func(node string) {
+		if node == "eyeballs" {
+			panic("injected eyeballs failure")
+		}
+	})
+
+	// Workers=4 puts the panicking node on a pool goroutine — the case a
+	// caller-side recover would miss.
+	res := Run(Config{Seed: 7, Scale: 0.08, Workers: 4})
+
+	if res.Dataset == nil || res.Candidates == nil {
+		t.Fatal("pipeline did not complete after a source panic")
+	}
+	row := sourceRow(t, res.Health, "eyeballs")
+	if row.Status != runner.Unavailable {
+		t.Errorf("eyeballs status = %v, want unavailable", row.Status)
+	}
+	if !strings.Contains(row.LastError, "panicked") {
+		t.Errorf("eyeballs LastError = %q, want a panic note", row.LastError)
+	}
+	// The degraded run must match the eyeballs ablation's shape: other
+	// sources healthy, candidates produced without the E source.
+	for _, name := range []string{"geo", "whois", "peeringdb"} {
+		if row := sourceRow(t, res.Health, name); row.Status != runner.Healthy {
+			t.Errorf("%s status = %v, want healthy", name, row.Status)
+		}
+	}
+}
+
+func TestPanickingStageContained(t *testing.T) {
+	withBuildHook(t, func(node string) {
+		if node == "stage2" {
+			panic("injected confirmation failure")
+		}
+	})
+
+	res := Run(Config{Seed: 7, Scale: 0.08, Workers: 4})
+
+	if res.Confirmation == nil {
+		t.Fatal("stage2 fallback missing: Confirmation is nil")
+	}
+	if len(res.Confirmation.Confirmed) != 0 {
+		t.Errorf("panicked stage2 produced %d confirmations, want the empty fallback",
+			len(res.Confirmation.Confirmed))
+	}
+	if res.Dataset == nil {
+		t.Fatal("stage3 did not run on the empty fallback")
+	}
+	var noted bool
+	for _, st := range res.Health.Stages {
+		if st.Name == "stage2" && st.Degraded && strings.Contains(st.Note, "panicked") {
+			noted = true
+		}
+	}
+	if !noted {
+		t.Errorf("no degraded stage2 note in %+v", res.Health.Stages)
+	}
+}
+
+// TestPanicNoteDeterministic pins that the panic degradation pathway is
+// itself schedule-independent: the same injected panic produces the same
+// health report serial and parallel.
+func TestPanicNoteDeterministic(t *testing.T) {
+	withBuildHook(t, func(node string) {
+		if node == "orbis" {
+			panic("injected orbis failure")
+		}
+	})
+	run := func(workers int) string {
+		return Run(Config{Seed: 7, Scale: 0.08, Workers: workers}).Health.Render()
+	}
+	serial := run(1)
+	parallel := run(8)
+	if serial != parallel {
+		t.Errorf("panic degradation differs by schedule:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+}

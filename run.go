@@ -14,6 +14,7 @@ import (
 	"stateowned/internal/orbis"
 	"stateowned/internal/peeringdb"
 	"stateowned/internal/runner"
+	"stateowned/internal/sched"
 	"stateowned/internal/topology"
 	"stateowned/internal/whois"
 	"stateowned/internal/world"
@@ -37,7 +38,8 @@ var sourceOrder = []string{
 // back to the matching ablation pathway, and Result.Health reports the
 // degradation. With ChaosSeverity == 0 the same code path runs with a
 // no-op plan, so pristine results are bit-identical to the pre-chaos
-// pipeline.
+// pipeline. With Workers != 1 the independent substrate builds overlap
+// on the scheduler's pool — provably without changing a byte of output.
 func Run(cfg Config) *Result {
 	if cfg.Scale <= 0 {
 		cfg.Scale = 1.0
@@ -49,22 +51,52 @@ func Run(cfg Config) *Result {
 	return runHardened(cfg, faults.NewPlan(seed, cfg.ChaosSeverity))
 }
 
-// runHardened is the degradation-aware pipeline runner: every substrate
-// build goes through runner.Do, record faults are injected and then
-// quarantined, and the three classification stages run behind panic
-// guards so a degraded substrate can never take the whole run down.
+// stageNote is a deferred Health.MarkStage call: nodes buffer their
+// stage notes and runHardened flushes them in canonical node order, so
+// the Stages list is identical no matter how parallel execution
+// interleaved the nodes.
+type stageNote struct {
+	stage    string
+	degraded bool
+	note     string
+}
+
+// buildHook, when non-nil, is called at the start of every scheduler
+// node with the node's name. It exists for tests that need to inject a
+// panicking build into a chosen node and prove the scheduler contains
+// it; production runs never set it.
+var buildHook func(node string)
+
+// runHardened is the degradation-aware pipeline runner, rebuilt on the
+// deterministic DAG scheduler: the five independent data sources (plus
+// WHOIS-derived AS2Org and topology-derived CTI) build concurrently on
+// a bounded pool after the shared world and topology substrates, while
+// the three classification stages remain a serial tail. Every node runs
+// behind the scheduler's panic guard (a panicking build degrades its
+// source instead of killing the run), record faults are injected and
+// quarantined inside the owning node so Health accounting is unchanged
+// from the serial pipeline, and per-node wall time lands in
+// Health.Timings.
+//
+// The build graph (stage1 additionally depends on every source node):
+//
+//	world ─┬─ topology ──┬─ cti ── stage1 ── stage2 ── stage3
+//	       ├─ geo ───────┘
+//	       ├─ eyeballs
+//	       ├─ whois ──── as2org
+//	       ├─ peeringdb
+//	       ├─ orbis
+//	       └─ docs
 func runHardened(cfg Config, plan faults.Plan) *Result {
+	workers := sched.Workers(cfg.Workers)
 	h := runner.NewHealth(plan.Severity)
+	h.Workers = workers
 	for _, s := range sourceOrder {
 		h.Source(s)
 	}
 	bo := runner.DefaultBackoff()
 
 	res := &Result{Config: cfg, Health: h}
-	res.World = world.Generate(world.Config{
-		Seed: cfg.Seed, Scale: cfg.Scale, Countries: cfg.Countries,
-	})
-	res.Topology = topology.Build(res.World, topology.FinalYear)
 
 	// inject returns the per-source fault stream, or nil (keep all) when
 	// the plan is off or the source has no fault channel.
@@ -75,95 +107,189 @@ func runHardened(cfg Config, plan faults.Plan) *Result {
 		return plan.Injector(source, spec)
 	}
 
+	// Graph assembly. Each add captures a per-node note buffer: nodes
+	// never call h.MarkStage directly, so the Stages list stays in
+	// canonical order under any execution interleaving.
+	g := sched.New()
+	var noteBufs []*[]stageNote
+	add := func(name string, fn func(mark func(string, bool, string)) error, deps ...string) {
+		buf := &[]stageNote{}
+		noteBufs = append(noteBufs, buf)
+		mark := func(stage string, degraded bool, note string) {
+			*buf = append(*buf, stageNote{stage, degraded, note})
+		}
+		g.Add(name, func() error {
+			if buildHook != nil {
+				buildHook(name)
+			}
+			return fn(mark)
+		}, deps...)
+	}
+
+	add("world", func(func(string, bool, string)) error {
+		res.World = world.Generate(world.Config{
+			Seed: cfg.Seed, Scale: cfg.Scale, Countries: cfg.Countries,
+		})
+		return nil
+	})
+	add("topology", func(func(string, bool, string)) error {
+		res.Topology = topology.Build(res.World, topology.FinalYear)
+		return nil
+	}, "world")
+
 	// Geolocation feed: build, then inject snapshot faults and run the
 	// validation pass so impossible assignments never reach the pipeline.
-	res.Geo, _ = runner.Do(h, runner.NewBreaker(breakerThreshold), bo, "geo",
-		func(int) (*geo.DB, error) { return geo.Build(res.World), nil })
-	if in := inject("geo", plan.Geo); in != nil {
-		h.NoteDamage("geo", res.Geo.Degrade(in))
-		h.NoteQuarantined("geo", res.Geo.Quarantine())
-	}
+	add("geo", func(func(string, bool, string)) error {
+		res.Geo, _ = runner.Do(h, runner.NewBreaker(breakerThreshold), bo, "geo",
+			func(int) (*geo.DB, error) { return geo.Build(res.World), nil })
+		if in := inject("geo", plan.Geo); in != nil {
+			h.NoteDamage("geo", res.Geo.Degrade(in))
+			h.NoteQuarantined("geo", res.Geo.Quarantine())
+		}
+		return nil
+	}, "world")
 
-	res.Eyeballs, _ = runner.Do(h, runner.NewBreaker(breakerThreshold), bo, "eyeballs",
-		func(int) (*eyeballs.Dataset, error) { return eyeballs.Build(res.World), nil })
+	add("eyeballs", func(func(string, bool, string)) error {
+		res.Eyeballs, _ = runner.Do(h, runner.NewBreaker(breakerThreshold), bo, "eyeballs",
+			func(int) (*eyeballs.Dataset, error) { return eyeballs.Build(res.World), nil })
+		return nil
+	}, "world")
 
-	res.WHOIS, _ = runner.Do(h, runner.NewBreaker(breakerThreshold), bo, "whois",
-		func(int) (*whois.Registry, error) { return whois.Build(res.World), nil })
-	if in := inject("whois", plan.WHOIS); in != nil {
-		h.NoteDamage("whois", res.WHOIS.Degrade(in))
-		h.NoteQuarantined("whois", res.WHOIS.Quarantine())
-	}
+	add("whois", func(func(string, bool, string)) error {
+		res.WHOIS, _ = runner.Do(h, runner.NewBreaker(breakerThreshold), bo, "whois",
+			func(int) (*whois.Registry, error) { return whois.Build(res.World), nil })
+		if in := inject("whois", plan.WHOIS); in != nil {
+			h.NoteDamage("whois", res.WHOIS.Degrade(in))
+			h.NoteQuarantined("whois", res.WHOIS.Quarantine())
+		}
+		return nil
+	}, "world")
 
-	res.PeeringDB, _ = runner.Do(h, runner.NewBreaker(breakerThreshold), bo, "peeringdb",
-		func(int) (*peeringdb.DB, error) { return peeringdb.Build(res.World), nil })
+	add("peeringdb", func(func(string, bool, string)) error {
+		res.PeeringDB, _ = runner.Do(h, runner.NewBreaker(breakerThreshold), bo, "peeringdb",
+			func(int) (*peeringdb.DB, error) { return peeringdb.Build(res.World), nil })
+		return nil
+	}, "world")
 
 	// AS2Org is inferred from whatever WHOIS survived, so WHOIS damage
 	// propagates into sibling inference exactly as it would in the wild.
-	res.AS2Org, _ = runner.Do(h, runner.NewBreaker(breakerThreshold), bo, "as2org",
-		func(int) (*as2org.Mapping, error) { return as2org.Infer(res.WHOIS), nil })
+	add("as2org", func(func(string, bool, string)) error {
+		res.AS2Org, _ = runner.Do(h, runner.NewBreaker(breakerThreshold), bo, "as2org",
+			func(int) (*as2org.Mapping, error) { return as2org.Infer(res.WHOIS), nil })
+		return nil
+	}, "whois")
 
 	// Orbis is the transiently failing source: the plan's first Timeouts
 	// attempts fail and runner.Do retries them with backoff. If the retry
 	// budget or the breaker runs out, the run degrades to the same path as
 	// the DisableOrbis ablation (stage 1 without the O source).
-	orbisIn := inject("orbis", plan.Orbis.Records)
-	orbisDB, orbisOK := runner.Do(h, runner.NewBreaker(breakerThreshold), bo, "orbis",
-		func(attempt int) (*orbis.DB, error) {
-			return orbis.Fetch(res.World, attempt, plan.Orbis.Timeouts, orbisIn)
-		})
-	if orbisOK {
-		res.Orbis = orbisDB
-		if orbisIn != nil {
-			h.NoteDamage("orbis", orbisIn.Damage())
-			h.NoteQuarantined("orbis", res.Orbis.Quarantine())
+	add("orbis", func(mark func(string, bool, string)) error {
+		orbisIn := inject("orbis", plan.Orbis.Records)
+		orbisDB, orbisOK := runner.Do(h, runner.NewBreaker(breakerThreshold), bo, "orbis",
+			func(attempt int) (*orbis.DB, error) {
+				return orbis.Fetch(res.World, attempt, plan.Orbis.Timeouts, orbisIn)
+			})
+		if orbisOK {
+			res.Orbis = orbisDB
+			if orbisIn != nil {
+				h.NoteDamage("orbis", orbisIn.Damage())
+				h.NoteQuarantined("orbis", res.Orbis.Quarantine())
+			}
+		} else {
+			mark("stage1", true, "orbis unavailable; candidates ran without the O source")
 		}
-	} else {
-		h.MarkStage("stage1", true, "orbis unavailable; candidates ran without the O source")
+		return nil
+	}, "world")
+
+	add("docs", func(func(string, bool, string)) error {
+		res.Docs, _ = runner.Do(h, runner.NewBreaker(breakerThreshold), bo, "docs",
+			func(int) (*docsrc.Corpus, error) { return docsrc.Build(res.World), nil })
+		if in := inject("docs", plan.Docs); in != nil {
+			h.NoteDamage("docs", res.Docs.Degrade(in))
+		}
+		return nil
+	}, "world")
+
+	add("cti", func(mark func(string, bool, string)) error {
+		if cfg.DisableCTI {
+			res.CTITop = map[string][]world.ASN{}
+			return nil
+		}
+		res.Monitors, res.CTITop = computeCTI(res, cfg, plan, h, workers, mark)
+		return nil
+	}, "topology", "geo")
+
+	// The serial tail: the classification stages consume every source.
+	add("stage1", func(func(string, bool, string)) error {
+		res.Candidates = runStage1(res, cfg)
+		return nil
+	}, "geo", "eyeballs", "whois", "peeringdb", "as2org", "orbis", "docs", "cti")
+	// Stages 2 and 3 substitute an empty input when their predecessor
+	// panicked (and so produced nothing): they still run and degrade
+	// gracefully, exactly as under the old per-stage panic guard.
+	add("stage2", func(func(string, bool, string)) error {
+		cands := res.Candidates
+		if cands == nil {
+			cands = &candidates.Result{}
+		}
+		res.Confirmation = confirm.Run(confirm.Inputs{
+			WHOIS: res.WHOIS, PeeringDB: res.PeeringDB, Docs: res.Docs,
+		}, cands.Companies)
+		return nil
+	}, "stage1")
+	add("stage3", func(func(string, bool, string)) error {
+		conf := res.Confirmation
+		if conf == nil {
+			conf = &confirm.Result{}
+		}
+		res.Dataset = expand.Run(conf, res.AS2Org, expand.Options{
+			DisableSiblingExpansion: cfg.DisableSiblings,
+			WHOIS:                   res.WHOIS,
+		})
+		return nil
+	}, "stage2")
+
+	results := g.Run(workers)
+
+	// Post-run accounting, all in declaration (= canonical serial)
+	// order: flush each node's deferred stage notes, then translate a
+	// guarded panic into the serial pipeline's degradation pathway — a
+	// source build panic trips that source's circuit, a stage panic
+	// yields the stage's empty fallback and a degraded-stage note.
+	isSource := map[string]bool{}
+	for _, s := range sourceOrder {
+		isSource[s] = true
+	}
+	h.Timings = make([]runner.NodeTiming, len(results))
+	for i, r := range results {
+		h.Timings[i] = runner.NodeTiming{Node: r.Name, Wall: r.Wall}
+		for _, n := range *noteBufs[i] {
+			h.MarkStage(n.stage, n.degraded, n.note)
+		}
+		if r.Err == nil {
+			continue
+		}
+		if isSource[r.Name] {
+			h.MarkUnavailable(r.Name, r.Err.Error())
+		} else {
+			h.MarkStage(r.Name, true, fmt.Sprintf("node panicked, substituted empty result: %v", r.Err))
+		}
 	}
 
-	res.Docs, _ = runner.Do(h, runner.NewBreaker(breakerThreshold), bo, "docs",
-		func(int) (*docsrc.Corpus, error) { return docsrc.Build(res.World), nil })
-	if in := inject("docs", plan.Docs); in != nil {
-		h.NoteDamage("docs", res.Docs.Degrade(in))
-	}
-
-	if !cfg.DisableCTI {
-		res.Monitors, res.CTITop = computeCTI(res, cfg, plan, h)
-	} else {
+	// Empty fallbacks for anything a panicked node failed to produce,
+	// mirroring the old guardStage contract: downstream consumers see an
+	// empty-but-valid value, never nil stages.
+	if res.CTITop == nil {
 		res.CTITop = map[string][]world.ASN{}
 	}
-
-	res.Candidates = guardStage(h, "stage1",
-		&candidates.Result{PerSourceASes: map[candidates.Source][]world.ASN{}},
-		func() *candidates.Result { return runStage1(res, cfg) })
-	res.Confirmation = guardStage(h, "stage2", &confirm.Result{},
-		func() *confirm.Result {
-			return confirm.Run(confirm.Inputs{
-				WHOIS: res.WHOIS, PeeringDB: res.PeeringDB, Docs: res.Docs,
-			}, res.Candidates.Companies)
-		})
-	res.Dataset = guardStage(h, "stage3", &expand.Dataset{},
-		func() *expand.Dataset {
-			return expand.Run(res.Confirmation, res.AS2Org, expand.Options{
-				DisableSiblingExpansion: cfg.DisableSiblings,
-				WHOIS:                   res.WHOIS,
-			})
-		})
+	if res.Candidates == nil {
+		res.Candidates = &candidates.Result{PerSourceASes: map[candidates.Source][]world.ASN{}}
+	}
+	if res.Confirmation == nil {
+		res.Confirmation = &confirm.Result{}
+	}
+	if res.Dataset == nil {
+		res.Dataset = &expand.Dataset{}
+	}
 	return res
-}
-
-// guardStage runs one classification stage behind a panic guard: a stage
-// blown up by a degraded substrate yields its empty fallback and a
-// degraded-stage note instead of killing the run.
-func guardStage[T any](h *runner.Health, name string, fallback T, fn func() T) T {
-	out := fallback
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				h.MarkStage(name, true, fmt.Sprintf("stage panicked, substituted empty result: %v", r))
-			}
-		}()
-		out = fn()
-	}()
-	return out
 }

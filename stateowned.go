@@ -45,6 +45,7 @@ import (
 	"stateowned/internal/orbis"
 	"stateowned/internal/peeringdb"
 	"stateowned/internal/runner"
+	"stateowned/internal/sched"
 	"stateowned/internal/serve"
 	"stateowned/internal/topology"
 	"stateowned/internal/whois"
@@ -63,6 +64,12 @@ type Config struct {
 	// Monitors sets the BGP vantage-point count (0 = 60, as in a
 	// mid-sized RouteViews/RIS collector set).
 	Monitors int
+	// Workers bounds the build scheduler's pool: how many independent
+	// substrate builds (and per-country CTI computations, per-origin BGP
+	// propagations) may run concurrently. 0 selects GOMAXPROCS; 1 runs
+	// the canonical serial schedule. The result is bit-identical for
+	// every worker count — the determinism tests enforce it.
+	Workers int
 
 	// Ablation switches (all false for the paper-faithful pipeline).
 	DisableGeo      bool
@@ -150,7 +157,14 @@ const minMonitorQuorum = 2
 // set feeds CTI, and if it falls below quorum the whole source degrades
 // to unavailable (the pipeline then simply lacks the C source, the same
 // pathway as the DisableCTI ablation).
-func computeCTI(res *Result, cfg Config, plan faults.Plan, h *runner.Health) ([]bgp.Monitor, map[string][]world.ASN) {
+//
+// workers bounds the internal fan-out (per-origin path collection,
+// per-country CTI — the per-country computations are independent, which
+// is the CTI paper's own observation). Stage notes go through mark
+// rather than straight into Health so the scheduler can flush them in
+// canonical node order regardless of execution interleaving.
+func computeCTI(res *Result, cfg Config, plan faults.Plan, h *runner.Health, workers int,
+	mark func(stage string, degraded bool, note string)) ([]bgp.Monitor, map[string][]world.ASN) {
 	monitors := bgp.SelectMonitors(res.World, res.Topology, cfg.Monitors)
 	if plan.Enabled() && plan.BGP.MonitorOutageRate > 0 {
 		inj := plan.Injector("bgp", faults.RecordSpec{DropRate: plan.BGP.MonitorOutageRate})
@@ -159,7 +173,7 @@ func computeCTI(res *Result, cfg Config, plan faults.Plan, h *runner.Health) ([]
 		monitors = up
 		if len(monitors) < minMonitorQuorum {
 			h.MarkUnavailable("bgp", "monitor set below quorum")
-			h.MarkStage("cti", true, "too few live monitors; CTI skipped")
+			mark("cti", true, "too few live monitors; CTI skipped")
 			return nil, map[string][]world.ASN{}
 		}
 	}
@@ -219,17 +233,23 @@ func computeCTI(res *Result, cfg Config, plan faults.Plan, h *runner.Health) ([]
 	}
 	world.SortASNs(origins)
 
-	paths := bgp.CollectPaths(res.Topology, monitors, origins)
+	paths := bgp.CollectPaths(res.Topology, monitors, origins, workers)
 	comp := cti.NewComputer(paths)
-	top := make(map[string][]world.ASN, len(ctiCountries))
-	for _, cc := range ctiCountries {
+	// Per-country CTI computations are independent reads over the frozen
+	// path collection and geo snapshot: fan them out, each iteration
+	// owning its result slot, then assemble the map in canonical order.
+	picks := make([][]world.ASN, len(ctiCountries))
+	sched.ParallelFor(workers, len(ctiCountries), func(i int) {
+		cc := ctiCountries[i]
 		scores := comp.Country(cc, perCountry[cc], res.Geo.NumPrefixes, res.Geo)
-		var picks []world.ASN
 		for _, s := range cti.TopK(scores, candidates.CTITopK) {
-			picks = append(picks, s.AS)
+			picks[i] = append(picks[i], s.AS)
 		}
-		if len(picks) > 0 {
-			top[cc] = picks
+	})
+	top := make(map[string][]world.ASN, len(ctiCountries))
+	for i, cc := range ctiCountries {
+		if len(picks[i]) > 0 {
+			top[cc] = picks[i]
 		}
 	}
 	return monitors, top
