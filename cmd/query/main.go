@@ -7,10 +7,13 @@
 //
 // Usage:
 //
-//	query [-seed N] [-scale F] -asn 7473
-//	query [-seed N] [-scale F] -country AO
+//	query [-seed N] [-scale F] [-gen N] -asn 7473
+//	query [-seed N] [-scale F] [-gen N] -country AO
 //
-// -asn and -country are mutually exclusive.
+// -asn and -country are mutually exclusive. -gen N answers from dataset
+// generation N — the world aged N steps under the seeded ownership-churn
+// model, rebuilt through the full pipeline — matching what a cmd/serve
+// instance with the same seeds serves for ?gen=N.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"stateowned"
 	"stateowned/internal/report"
 	"stateowned/internal/serve"
+	"stateowned/internal/snapshot"
 	"stateowned/internal/world"
 )
 
@@ -29,10 +33,15 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "world scale")
 	asn := flag.Uint64("asn", 0, "look up one ASN")
 	country := flag.String("country", "", "list a country's state-owned ASes")
+	gen := flag.Int("gen", 0, "dataset generation to answer from (0 = the pristine build)")
+	churnSeed := flag.Uint64("churn-seed", 0, "ownership-churn schedule seed (0 = derive from -seed)")
 	flag.Parse()
 	switch {
 	case *scale <= 0:
 		fmt.Fprintln(os.Stderr, "query: invalid -scale: must be > 0")
+		os.Exit(2)
+	case *gen < 0:
+		fmt.Fprintln(os.Stderr, "query: invalid -gen: must be >= 0")
 		os.Exit(2)
 	case *asn == 0 && *country == "":
 		fmt.Fprintln(os.Stderr, "query: need -asn or -country")
@@ -42,8 +51,28 @@ func main() {
 		os.Exit(2)
 	}
 
-	res := stateowned.Run(stateowned.Config{Seed: *seed, Scale: *scale})
-	idx := res.Index()
+	var idx *serve.Index
+	if *gen == 0 && *churnSeed == 0 {
+		idx = stateowned.Run(stateowned.Config{Seed: *seed, Scale: *scale}).Index()
+	} else {
+		// A churned generation: the snapshot store rebuilds the world
+		// through -gen seeded churn steps, exactly what a cmd/serve
+		// instance with the same seeds answers for ?gen=N.
+		store := snapshot.New(snapshot.Options{
+			Base:      stateowned.Config{Seed: *seed, Scale: *scale},
+			ChurnSeed: *churnSeed,
+			Retain:    *gen + 1,
+		})
+		for store.Current().Gen < *gen {
+			store.Advance()
+		}
+		g, st := store.Lookup(*gen)
+		if st != serve.GenOK {
+			fmt.Fprintf(os.Stderr, "query: generation %d unavailable\n", *gen)
+			os.Exit(2)
+		}
+		idx = g.Index
+	}
 
 	if *asn != 0 {
 		queryASN(idx, world.ASN(*asn))

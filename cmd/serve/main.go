@@ -1,19 +1,29 @@
-// Command serve runs the pipeline once and serves the resulting dataset
-// over an HTTP JSON API: per-ASN, per-country and per-organization
-// lookups, fuzzy name search, the full Listing-1 export, and the
-// operational endpoints /healthz, /readyz (the pipeline's degradation
-// report) and /metrics (request counts, latency histograms, cache hit
-// ratio).
+// Command serve runs the pipeline and serves the resulting dataset over
+// an HTTP JSON API: per-ASN, per-country and per-organization lookups,
+// fuzzy name search, the full Listing-1 export, and the operational
+// endpoints /healthz, /readyz (the pipeline's degradation report) and
+// /metrics (request counts, latency histograms, cache hit ratio).
+//
+// The dataset is generational: the server holds a snapshot store whose
+// ground-truth world ages under the seeded ownership-churn model. With
+// -reload-every > 0 the store rebuilds the next generation on a
+// background cadence and publishes it with an atomic swap — traffic is
+// never paused; in-flight requests finish on the generation they
+// started on. ?gen=N pins a query to any generation still in the
+// retention ring (-generations), and /v1/diff?from=&to= audits the
+// ownership churn between two retained generations.
 //
 // Usage:
 //
 //	serve [-addr :8080] [-seed N] [-scale F] [-workers N] [-chaos F] [-chaos-seed N] [-cache N]
+//	      [-reload-every D] [-generations N] [-churn-seed N]
 //
 // With -chaos > 0 the pipeline builds under a seeded fault plan and
 // /readyz reflects the degraded sources (503 when a source went
-// unavailable). -workers bounds the build scheduler's pool for the
-// startup pipeline run (0 = GOMAXPROCS; the served dataset is identical
-// for every worker count); /metrics reports the per-node build times.
+// unavailable). -workers bounds the build scheduler's pool for every
+// generation's pipeline run (0 = GOMAXPROCS; the served dataset is
+// identical for every worker count); /metrics reports the per-node
+// build times.
 package main
 
 import (
@@ -25,9 +35,11 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"stateowned"
 	"stateowned/internal/serve"
+	"stateowned/internal/snapshot"
 )
 
 func main() {
@@ -40,6 +52,9 @@ func main() {
 	chaos := flag.Float64("chaos", 0, "fault-injection severity in [0,1] (0 = off)")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "fault-plan seed (0 = derive from -seed)")
 	cacheSize := flag.Int("cache", 1024, "response-cache capacity in entries (0 disables caching)")
+	reloadEvery := flag.Duration("reload-every", time.Duration(0), "rebuild and hot-swap the next dataset generation on this cadence (0 = serve generation 0 forever)")
+	generations := flag.Int("generations", snapshot.DefaultRetain, "retention ring: how many generations stay pinnable via ?gen=N")
+	churnSeed := flag.Uint64("churn-seed", 0, "ownership-churn schedule seed (0 = derive from -seed)")
 	flag.Parse()
 
 	if *scale <= 0 {
@@ -58,6 +73,14 @@ func main() {
 		log.Println("invalid -cache: must be >= 0")
 		os.Exit(2)
 	}
+	if *reloadEvery < 0 {
+		log.Println("invalid -reload-every: must be >= 0")
+		os.Exit(2)
+	}
+	if *generations < 1 {
+		log.Println("invalid -generations: must be >= 1")
+		os.Exit(2)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -65,25 +88,34 @@ func main() {
 		os.Exit(2)
 	}
 
-	log.Printf("building dataset (seed %d, scale %g, chaos %g)...", *seed, *scale, *chaos)
-	res := stateowned.Run(stateowned.Config{
-		Seed: *seed, Scale: *scale, Workers: *workers,
-		ChaosSeverity: *chaos, ChaosSeed: *chaosSeed,
+	log.Printf("building generation 0 (seed %d, scale %g, chaos %g)...", *seed, *scale, *chaos)
+	store := snapshot.New(snapshot.Options{
+		Base: stateowned.Config{
+			Seed: *seed, Scale: *scale, Workers: *workers,
+			ChaosSeverity: *chaos, ChaosSeed: *chaosSeed,
+		},
+		ChurnSeed: *churnSeed,
+		Retain:    *generations,
 	})
-	idx := res.Index()
-	log.Printf("index ready: %d organizations, %d state-owned ASNs, %d minority records",
-		idx.NumOrgs(), idx.NumASNs(), len(res.Dataset.Minority))
-	if degraded := res.Health.DegradedSources(); len(degraded) > 0 {
+	g := store.Current()
+	log.Printf("generation 0 live: %d organizations, %d state-owned ASNs, %d minority records",
+		g.Index.NumOrgs(), g.Index.NumASNs(), g.Index.NumMinority())
+	if degraded := g.Result.Health.DegradedSources(); len(degraded) > 0 {
 		log.Printf("degraded sources: %v (see /readyz)", degraded)
 	}
 
-	srv := serve.New(idx, serve.Options{
-		Health:    res.Health,
+	srv := serve.NewDynamic(store.Source(), serve.Options{
 		CacheSize: *cacheSize,
 	})
+	store.OnEvict(srv.InvalidateGeneration)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *reloadEvery > 0 {
+		log.Printf("hot reload on: next generation every %s, retaining %d", *reloadEvery, *generations)
+		go store.Reload(ctx, *reloadEvery, log.Printf)
+	}
 
 	// The "listening on" line is the machine-readable handshake the smoke
 	// tests (and port-0 users) parse for the bound address.

@@ -72,42 +72,79 @@ func DefaultRates() Rates {
 }
 
 // Evolve applies `years` years of ownership churn to the world, mutating
-// its equity graph in place, and returns the chronological event log.
+// its equity graph in place, and returns the event log in canonical
+// (year, kind, operator ID) order.
+//
+// Each year runs in two deterministic phases. Phase one samples every
+// in-scope operator against the year's rates using an operator-keyed
+// random stream and the ownership state as of the start of the year, so
+// neither the draws nor the decisions depend on the order in which
+// operators are enumerated. Phase two sorts the proposed events by
+// (kind, operator ID) and applies the mutations in that order. The
+// evolved graph — and therefore the content of every dataset generation
+// built from it — is identical under any permutation of
+// world.OperatorIDs, any map-iteration order and any worker count: the
+// same canonical-order contract the build scheduler enforces for the
+// pipeline itself.
 func Evolve(w *world.World, years int, seed uint64, rates Rates) []Event {
 	r := rng.New(seed).Sub("churn")
 	var events []Event
 	for year := 1; year <= years; year++ {
 		yr := r.Sub(fmt.Sprintf("year/%d", year))
+
+		// Phase 1: propose events from the start-of-year ownership state.
+		var proposals []Event
 		for _, id := range w.OperatorIDs {
 			op := w.Operators[id]
 			if !op.Kind.InScope() {
 				continue
 			}
+			or := yr.Sub("op/" + id)
 			ctrl := w.Graph.ControlOf(op.Entity)
 			switch {
-			case ctrl.Controlled() && yr.Bool(rates.Privatization):
-				if privatize(w, op) {
-					events = append(events, Event{
-						Year: year, Kind: Privatization, OperatorID: id,
-						Company: op.BrandName, Country: op.Country,
-						Detail: fmt.Sprintf("state of %s divests its holdings", ctrl.Controller),
-					})
-				}
-			case !ctrl.Controlled() && op.Kind == world.KindIncumbent && yr.Bool(rates.Nationalization):
-				if nationalize(w, op) {
-					events = append(events, Event{
-						Year: year, Kind: Nationalization, OperatorID: id,
-						Company: op.BrandName, Country: op.Country,
-						Detail: fmt.Sprintf("government of %s acquires a majority", op.Country),
-					})
-				}
-			case ctrl.Controlled() && ctrl.Controller == op.Country && yr.Bool(rates.NewSubsidiary):
-				events = append(events, Event{
+			case ctrl.Controlled() && or.Bool(rates.Privatization):
+				proposals = append(proposals, Event{
+					Year: year, Kind: Privatization, OperatorID: id,
+					Company: op.BrandName, Country: op.Country,
+					Detail: fmt.Sprintf("state of %s divests its holdings", ctrl.Controller),
+				})
+			case !ctrl.Controlled() && op.Kind == world.KindIncumbent && or.Bool(rates.Nationalization):
+				proposals = append(proposals, Event{
+					Year: year, Kind: Nationalization, OperatorID: id,
+					Company: op.BrandName, Country: op.Country,
+					Detail: fmt.Sprintf("government of %s acquires a majority", op.Country),
+				})
+			case ctrl.Controlled() && ctrl.Controller == op.Country && or.Bool(rates.NewSubsidiary):
+				proposals = append(proposals, Event{
 					Year: year, Kind: NewForeignSubsidiary, OperatorID: id,
 					Company: op.BrandName, Country: op.Country,
 					Detail: "announces a new foreign operation (no ASN yet)",
 				})
 			}
+		}
+
+		// Phase 2: apply in canonical (kind, operator ID) order. Proposals
+		// whose precondition evaporated under an earlier same-year event
+		// (the mutation reports false) are dropped from the log.
+		sort.Slice(proposals, func(i, j int) bool {
+			if proposals[i].Kind != proposals[j].Kind {
+				return proposals[i].Kind < proposals[j].Kind
+			}
+			return proposals[i].OperatorID < proposals[j].OperatorID
+		})
+		for _, e := range proposals {
+			op := w.Operators[e.OperatorID]
+			switch e.Kind {
+			case Privatization:
+				if !privatize(w, op) {
+					continue
+				}
+			case Nationalization:
+				if !nationalize(w, op) {
+					continue
+				}
+			}
+			events = append(events, e)
 		}
 	}
 	return events
@@ -161,20 +198,23 @@ func nationalize(w *world.World, op *world.Operator) bool {
 }
 
 // Audit compares an existing dataset against the (possibly evolved)
-// world, producing the maintenance picture §9 anticipates.
+// world, producing the maintenance picture §9 anticipates. The JSON
+// form is the wire format of the serving layer's /v1/diff endpoint, so
+// an offline RunAudit marshals byte-for-byte identically to the served
+// generation diff.
 type Audit struct {
 	// StaleOrgs are dataset organizations that are no longer majority
 	// state-owned (privatized since publication).
-	StaleOrgs []string
+	StaleOrgs []string `json:"stale_orgs"`
 	// MissingCompanies are operators that became state-owned after the
 	// dataset was built.
-	MissingCompanies []string
+	MissingCompanies []string `json:"missing_companies"`
 	// StillValid counts organizations whose classification holds.
-	StillValid int
+	StillValid int `json:"still_valid"`
 	// MaintenanceFraction is the share of records needing any edit —
 	// the paper's argument that upkeep is "significantly less taxing"
 	// than regeneration.
-	MaintenanceFraction float64
+	MaintenanceFraction float64 `json:"maintenance_fraction"`
 }
 
 // RunAudit audits a dataset against the world's current ground truth.

@@ -76,6 +76,60 @@ func TestEvolveDeterministic(t *testing.T) {
 	}
 }
 
+// TestEvolveOrderIndependent is the regression test for the canonical
+// within-year ordering: evolving two identical worlds — one enumerated
+// in natural operator order, one in reversed order — must produce the
+// same event log and the same resulting ownership state. Before the
+// two-phase rewrite, both the RNG draws and the mutation order followed
+// the enumeration order, so generation content silently depended on it.
+func TestEvolveOrderIndependent(t *testing.T) {
+	w1 := world.Generate(world.Config{Seed: 7, Scale: 0.05})
+	w2 := world.Generate(world.Config{Seed: 7, Scale: 0.05})
+	for i, j := 0, len(w2.OperatorIDs)-1; i < j; i, j = i+1, j-1 {
+		w2.OperatorIDs[i], w2.OperatorIDs[j] = w2.OperatorIDs[j], w2.OperatorIDs[i]
+	}
+
+	e1 := Evolve(w1, 5, 11, DefaultRates())
+	e2 := Evolve(w2, 5, 11, DefaultRates())
+	if len(e1) == 0 {
+		t.Fatal("no events to compare")
+	}
+	if len(e1) != len(e2) {
+		t.Fatalf("event counts differ under reversed enumeration: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("event %d differs under reversed enumeration:\n  %+v\n  %+v", i, e1[i], e2[i])
+		}
+	}
+	for _, id := range w1.OperatorIDs {
+		c1 := w1.Graph.ControlOf(w1.Operators[id].Entity)
+		c2 := w2.Graph.ControlOf(w2.Operators[id].Entity)
+		if c1.Controller != c2.Controller || c1.Share != c2.Share {
+			t.Fatalf("operator %s control diverged: %+v vs %+v", id, c1, c2)
+		}
+	}
+}
+
+// TestEvolveEventsCanonicalOrder pins the event log's sort contract:
+// ascending (year, kind, operator ID).
+func TestEvolveEventsCanonicalOrder(t *testing.T) {
+	w := world.Generate(world.Config{Seed: 21, Scale: 0.05})
+	events := Evolve(w, 8, 3, DefaultRates())
+	if len(events) < 2 {
+		t.Skipf("only %d events; nothing to order", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		a, b := events[i-1], events[i]
+		ordered := a.Year < b.Year ||
+			(a.Year == b.Year && (a.Kind < b.Kind ||
+				(a.Kind == b.Kind && a.OperatorID < b.OperatorID)))
+		if !ordered {
+			t.Fatalf("events %d and %d out of canonical order:\n  %+v\n  %+v", i-1, i, a, b)
+		}
+	}
+}
+
 func TestZeroRatesNoEvents(t *testing.T) {
 	w := world.Generate(world.Config{Seed: 7, Scale: 0.05})
 	if events := Evolve(w, 10, 3, Rates{}); len(events) != 0 {

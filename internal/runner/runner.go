@@ -238,6 +238,12 @@ func (h *Health) MarkStage(name string, degraded bool, note string) {
 	h.Stages = append(h.Stages, StageHealth{Name: name, Degraded: degraded, Note: note})
 }
 
+// Ready is the serving-readiness verdict over this report: true unless
+// some source went unavailable. Degraded-but-present sources still
+// serve — they are listed, not disqualifying. /readyz and the snapshot
+// store's generation health both key off this.
+func (h *Health) Ready() bool { return len(h.UnavailableSources()) == 0 }
+
 // DegradedSources lists sources whose status is not healthy.
 func (h *Health) DegradedSources() []string {
 	h.mu.Lock()

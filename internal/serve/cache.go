@@ -24,10 +24,12 @@ type Cache struct {
 	items    map[string]*list.Element
 	hits     uint64
 	misses   uint64
+	purged   uint64
 }
 
 type cacheEntry struct {
 	key string
+	gen int
 	val CachedResponse
 }
 
@@ -63,9 +65,10 @@ func (c *Cache) Get(key string) (CachedResponse, bool) {
 	return el.Value.(*cacheEntry).val, true
 }
 
-// Put stores a response under key, evicting the least recently used
-// entry when the cache is full.
-func (c *Cache) Put(key string, v CachedResponse) {
+// Put stores a response under key, tagged with the dataset generation
+// it was answered from, evicting the least recently used entry when the
+// cache is full.
+func (c *Cache) Put(key string, gen int, v CachedResponse) {
 	if c == nil {
 		return
 	}
@@ -73,7 +76,9 @@ func (c *Cache) Put(key string, v CachedResponse) {
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).val = v
+		ent := el.Value.(*cacheEntry)
+		ent.gen = gen
+		ent.val = v
 		return
 	}
 	if c.ll.Len() >= c.capacity {
@@ -83,7 +88,34 @@ func (c *Cache) Put(key string, v CachedResponse) {
 			delete(c.items, oldest.Value.(*cacheEntry).key)
 		}
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: v})
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, gen: gen, val: v})
+}
+
+// PurgeGeneration removes every entry tagged with the given generation
+// and returns how many were dropped. The snapshot store calls it when a
+// generation leaves the retention ring: those keys can never be asked
+// for again (pinned requests get 410 before the cache is consulted), so
+// purging is hygiene — it returns the capacity to live generations
+// immediately instead of waiting for LRU pressure to cycle the dead
+// entries out.
+func (c *Cache) PurgeGeneration(gen int) int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if ent := el.Value.(*cacheEntry); ent.gen == gen {
+			c.ll.Remove(el)
+			delete(c.items, ent.key)
+			n++
+		}
+		el = next
+	}
+	c.purged += uint64(n)
+	return n
 }
 
 // CacheStats is the cache's accounting snapshot.
@@ -93,6 +125,9 @@ type CacheStats struct {
 	Hits     uint64  `json:"hits"`
 	Misses   uint64  `json:"misses"`
 	HitRatio float64 `json:"hit_ratio"`
+	// Purged counts entries dropped by PurgeGeneration when their
+	// generation left the retention ring.
+	Purged uint64 `json:"purged"`
 }
 
 // Stats snapshots the cache accounting. A nil cache reports zeroes.
@@ -107,6 +142,7 @@ func (c *Cache) Stats() CacheStats {
 		Size:     c.ll.Len(),
 		Hits:     c.hits,
 		Misses:   c.misses,
+		Purged:   c.purged,
 	}
 	if total := c.hits + c.misses; total > 0 {
 		s.HitRatio = float64(c.hits) / float64(total)

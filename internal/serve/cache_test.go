@@ -14,7 +14,7 @@ func TestCacheHitMiss(t *testing.T) {
 	if _, ok := c.Get("a"); ok {
 		t.Fatal("empty cache reported a hit")
 	}
-	c.Put("a", respBody("A"))
+	c.Put("a", 0, respBody("A"))
 	got, ok := c.Get("a")
 	if !ok || string(got.Body) != "A" {
 		t.Fatalf("Get a = %q ok=%v", got.Body, ok)
@@ -31,13 +31,13 @@ func TestCacheHitMiss(t *testing.T) {
 func TestCacheLRUEviction(t *testing.T) {
 	c := NewCache(3)
 	for i := 0; i < 3; i++ {
-		c.Put(fmt.Sprintf("k%d", i), respBody(fmt.Sprintf("v%d", i)))
+		c.Put(fmt.Sprintf("k%d", i), 0, respBody(fmt.Sprintf("v%d", i)))
 	}
 	// Touch k0 so k1 becomes the eviction victim.
 	if _, ok := c.Get("k0"); !ok {
 		t.Fatal("k0 missing before eviction")
 	}
-	c.Put("k3", respBody("v3"))
+	c.Put("k3", 0, respBody("v3"))
 	if _, ok := c.Get("k1"); ok {
 		t.Fatal("k1 should have been evicted (LRU)")
 	}
@@ -53,8 +53,8 @@ func TestCacheLRUEviction(t *testing.T) {
 
 func TestCacheUpdateExisting(t *testing.T) {
 	c := NewCache(2)
-	c.Put("k", respBody("old"))
-	c.Put("k", respBody("new"))
+	c.Put("k", 0, respBody("old"))
+	c.Put("k", 0, respBody("new"))
 	got, ok := c.Get("k")
 	if !ok || string(got.Body) != "new" {
 		t.Fatalf("updated entry = %q ok=%v", got.Body, ok)
@@ -64,12 +64,39 @@ func TestCacheUpdateExisting(t *testing.T) {
 	}
 }
 
+func TestCachePurgeGeneration(t *testing.T) {
+	c := NewCache(8)
+	c.Put("g0/a", 0, respBody("a0"))
+	c.Put("g0/b", 0, respBody("b0"))
+	c.Put("g1/a", 1, respBody("a1"))
+	if n := c.PurgeGeneration(0); n != 2 {
+		t.Fatalf("PurgeGeneration(0) dropped %d entries, want 2", n)
+	}
+	if _, ok := c.Get("g0/a"); ok {
+		t.Fatal("g0/a survived its generation's purge")
+	}
+	if got, ok := c.Get("g1/a"); !ok || string(got.Body) != "a1" {
+		t.Fatalf("g1/a = %q ok=%v after purging generation 0", got.Body, ok)
+	}
+	st := c.Stats()
+	if st.Size != 1 || st.Purged != 2 {
+		t.Fatalf("stats after purge = %+v", st)
+	}
+	if n := c.PurgeGeneration(5); n != 0 {
+		t.Fatalf("purging an absent generation dropped %d entries", n)
+	}
+	var nilCache *Cache
+	if n := nilCache.PurgeGeneration(0); n != 0 {
+		t.Fatalf("nil cache purge = %d", n)
+	}
+}
+
 func TestCacheDisabled(t *testing.T) {
 	c := NewCache(0)
 	if c != nil {
 		t.Fatal("capacity 0 should return the nil always-miss cache")
 	}
-	c.Put("k", respBody("v")) // must not panic
+	c.Put("k", 0, respBody("v")) // must not panic
 	if _, ok := c.Get("k"); ok {
 		t.Fatal("nil cache reported a hit")
 	}

@@ -7,6 +7,8 @@ import (
 	"net/url"
 	"strings"
 	"testing"
+
+	"stateowned/internal/churn"
 )
 
 // FuzzServeASNPath drives the /v1/asn/{asn} handler with arbitrary path
@@ -51,6 +53,59 @@ func FuzzServeASNPath(f *testing.F) {
 		}
 		if !json.Valid(w.Body.Bytes()) {
 			t.Fatalf("GET %q: invalid JSON body %q", target, w.Body)
+		}
+	})
+}
+
+// FuzzGenParam drives the generation query parameters — ?gen= on the
+// /v1 lookups and ?from=/?to= on /v1/diff — with arbitrary strings
+// against a generational source with an eviction horizon. Contract:
+// never panic, answer only 200, 400 (malformed or negative), 404
+// (never built) or 410 (evicted), and always produce a non-empty valid
+// JSON body.
+func FuzzGenParam(f *testing.F) {
+	for _, seed := range []string{
+		"0", "1", "2", "3", "7", "007", "+1", "-1", "-9", "", " ", "1 ",
+		"abc", "1.5", "1e2", "0x1", "２",
+		"2147483647", "2147483648", "-2147483649",
+		"99999999999999999999", "-99999999999999999999",
+		strings.Repeat("9", 400), "\x00", "null",
+	} {
+		f.Add(seed, seed)
+	}
+
+	src := &fakeSource{
+		views: map[int]*View{
+			2: {Gen: 2, Index: BuildIndex(fixtureDataset())},
+			3: {Gen: 3, Index: BuildIndex(gen1Dataset())},
+		},
+		current: 3,
+		oldest:  2, // generations 0 and 1 were built, then evicted
+		audit:   &churn.Audit{StillValid: 1, MaintenanceFraction: 1},
+	}
+	srv := NewDynamic(src, Options{CacheSize: 32})
+
+	f.Fuzz(func(t *testing.T, rawA, rawB string) {
+		targets := []string{
+			"/v1/asn/100?gen=" + url.QueryEscape(rawA),
+			"/v1/search?name=angola&gen=" + url.QueryEscape(rawA),
+			"/v1/dataset?gen=" + url.QueryEscape(rawA),
+			"/v1/diff?from=" + url.QueryEscape(rawA) + "&to=" + url.QueryEscape(rawB),
+		}
+		for _, target := range targets {
+			w := httptest.NewRecorder()
+			srv.ServeHTTP(w, httptest.NewRequest(http.MethodGet, target, nil))
+			switch w.Code {
+			case http.StatusOK, http.StatusBadRequest, http.StatusNotFound, http.StatusGone:
+			default:
+				t.Fatalf("GET %q: unexpected status %d (body %q)", target, w.Code, w.Body)
+			}
+			if w.Body.Len() == 0 {
+				t.Fatalf("GET %q: empty body", target)
+			}
+			if !json.Valid(w.Body.Bytes()) {
+				t.Fatalf("GET %q: invalid JSON body %q", target, w.Body)
+			}
 		}
 	})
 }

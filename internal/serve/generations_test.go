@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+
+	"stateowned/internal/churn"
+	"stateowned/internal/expand"
+	"stateowned/internal/world"
+)
+
+// fakeSource is an in-package generational Source for server tests:
+// internal/snapshot implements the real one, but serve cannot import it
+// (snapshot imports the root package, which imports serve), so the
+// HTTP-layer contract is exercised against this hand-wound ring.
+type fakeSource struct {
+	views     map[int]*View
+	current   int
+	oldest    int
+	reloading bool
+	audit     *churn.Audit
+}
+
+func (f *fakeSource) Current() *View { return f.views[f.current] }
+
+func (f *fakeSource) Generation(n int) (*View, GenStatus) {
+	if v, ok := f.views[n]; ok {
+		return v, GenOK
+	}
+	if n < f.oldest {
+		return nil, GenEvicted
+	}
+	return nil, GenUnknown
+}
+
+func (f *fakeSource) Diff(from, to *View) (*churn.Audit, bool) {
+	if f.audit == nil {
+		return nil, false
+	}
+	return f.audit, true
+}
+
+func (f *fakeSource) Reloading() bool { return f.reloading }
+
+// gen1Dataset is the fixture dataset one churn step later: ORG-0003
+// privatized away, ORG-0001 lost a sibling — enough divergence that a
+// pinned generation-0 answer is distinguishable from the live one.
+func gen1Dataset() *expand.Dataset {
+	ds := fixtureDataset()
+	ds.Organizations = ds.Organizations[:2]
+	ds.ASNs = ds.ASNs[:2]
+	ds.ASNs[0] = expand.OrgASNs{OrgID: "ORG-0001", ASNs: []world.ASN{100}}
+	return ds
+}
+
+func newFakeSource() *fakeSource {
+	return &fakeSource{
+		views: map[int]*View{
+			0: {Gen: 0, Index: BuildIndex(fixtureDataset()), Provenance: Provenance{Origin: "generational"}},
+			1: {Gen: 1, Index: BuildIndex(gen1Dataset()), Provenance: Provenance{Origin: "generational", Events: 2, TotalEvents: 2}},
+		},
+		current: 1,
+	}
+}
+
+func newGenServer(t *testing.T, src Source, opts Options) *Server {
+	t.Helper()
+	if opts.Clock == nil {
+		opts.Clock = testClock(3)
+	}
+	return NewDynamic(src, opts)
+}
+
+func TestGenerationPinning(t *testing.T) {
+	src := newFakeSource()
+	s := newGenServer(t, src, Options{CacheSize: 16})
+
+	// Unpinned requests answer from the live generation.
+	w := do(t, s, "/v1/asn/100")
+	if w.Code != http.StatusOK {
+		t.Fatalf("live asn 100: %d %s", w.Code, w.Body)
+	}
+	if got := w.Header().Get(GenerationHeader); got != "1" {
+		t.Fatalf("live %s = %q, want 1", GenerationHeader, got)
+	}
+	if resp := decode[ASNResponse](t, w); len(resp.SiblingASNs) != 1 {
+		t.Fatalf("live siblings = %v, want the shrunken gen-1 set", resp.SiblingASNs)
+	}
+
+	// ?gen=0 pins the retained old generation — different answer.
+	w = do(t, s, "/v1/asn/100?gen=0")
+	if w.Code != http.StatusOK {
+		t.Fatalf("pinned asn 100: %d %s", w.Code, w.Body)
+	}
+	if got := w.Header().Get(GenerationHeader); got != "0" {
+		t.Fatalf("pinned %s = %q, want 0", GenerationHeader, got)
+	}
+	if resp := decode[ASNResponse](t, w); len(resp.SiblingASNs) != 2 {
+		t.Fatalf("pinned siblings = %v, want the original pair", resp.SiblingASNs)
+	}
+
+	// ASN 301 exists only in generation 0 (ORG-0003 privatized in gen 1).
+	if w := do(t, s, "/v1/asn/301"); w.Code != http.StatusNotFound {
+		t.Fatalf("privatized asn live: %d", w.Code)
+	}
+	if w := do(t, s, "/v1/asn/301?gen=0"); w.Code != http.StatusOK {
+		t.Fatalf("privatized asn pinned to gen 0: %d", w.Code)
+	}
+
+	// Status contract: future 404, evicted 410, garbage 400.
+	if w := do(t, s, "/v1/asn/100?gen=7"); w.Code != http.StatusNotFound {
+		t.Fatalf("future generation: %d", w.Code)
+	}
+	src.oldest = 3
+	delete(src.views, 0)
+	if w := do(t, s, "/v1/asn/100?gen=0"); w.Code != http.StatusGone {
+		t.Fatalf("evicted generation: %d", w.Code)
+	}
+	for _, raw := range []string{"-1", "abc", "1.5", "99999999999999999999", ""} {
+		if w := do(t, s, "/v1/asn/100?gen="+raw); w.Code != http.StatusBadRequest {
+			t.Fatalf("?gen=%q: %d, want 400", raw, w.Code)
+		}
+	}
+}
+
+func TestGenerationCacheIsolation(t *testing.T) {
+	src := newFakeSource()
+	s := newGenServer(t, src, Options{CacheSize: 16})
+
+	// The same canonical request against two generations is two cache
+	// entries; replays hit within a generation, never across.
+	live := do(t, s, "/v1/asn/100")
+	pinned := do(t, s, "/v1/asn/100?gen=0")
+	if live.Body.String() == pinned.Body.String() {
+		t.Fatal("generations served identical bodies; fixture divergence broken")
+	}
+	if st := s.CacheStats(); st.Misses != 2 || st.Hits != 0 {
+		t.Fatalf("stats after first touches = %+v", st)
+	}
+	again := do(t, s, "/v1/asn/100?gen=1") // pinned to live gen = same entry
+	if again.Body.String() != live.Body.String() {
+		t.Fatal("?gen=1 replay differs from unpinned live answer")
+	}
+	st := s.CacheStats()
+	if st.Hits != 1 {
+		t.Fatalf("stats after same-generation replay = %+v", st)
+	}
+
+	// Evicting a generation purges exactly its entries.
+	s.InvalidateGeneration(0)
+	st = s.CacheStats()
+	if st.Purged != 1 || st.Size != 1 {
+		t.Fatalf("stats after invalidating gen 0 = %+v", st)
+	}
+}
+
+func TestDiffEndpoint(t *testing.T) {
+	src := newFakeSource()
+	src.audit = &churn.Audit{
+		StaleOrgs:           []string{"ORG-0003"},
+		MissingCompanies:    []string{"NewTel"},
+		StillValid:          2,
+		MaintenanceFraction: 0.5,
+	}
+	s := newGenServer(t, src, Options{})
+
+	w := do(t, s, "/v1/diff?from=0&to=1")
+	if w.Code != http.StatusOK {
+		t.Fatalf("diff: %d %s", w.Code, w.Body)
+	}
+	resp := decode[DiffResponse](t, w)
+	if resp.From != 0 || resp.To != 1 {
+		t.Fatalf("diff envelope = %+v", resp)
+	}
+	if len(resp.Audit.StaleOrgs) != 1 || resp.Audit.StaleOrgs[0] != "ORG-0003" ||
+		resp.Audit.MaintenanceFraction != 0.5 {
+		t.Fatalf("diff audit = %+v", resp.Audit)
+	}
+
+	// Parameter contract.
+	if w := do(t, s, "/v1/diff?from=0"); w.Code != http.StatusBadRequest {
+		t.Fatalf("missing to: %d", w.Code)
+	}
+	if w := do(t, s, "/v1/diff"); w.Code != http.StatusBadRequest {
+		t.Fatalf("missing both: %d", w.Code)
+	}
+	if w := do(t, s, "/v1/diff?from=bogus&to=1"); w.Code != http.StatusBadRequest {
+		t.Fatalf("malformed from: %d", w.Code)
+	}
+	if w := do(t, s, "/v1/diff?from=0&to=9"); w.Code != http.StatusNotFound {
+		t.Fatalf("unknown to: %d", w.Code)
+	}
+
+	// A static server retains no ground truth: diff is unavailable even
+	// for resolvable generations.
+	static := newTestServer(t, Options{})
+	if w := do(t, static, "/v1/diff?from=0&to=0"); w.Code != http.StatusNotFound {
+		t.Fatalf("static diff: %d %s", w.Code, w.Body)
+	}
+}
+
+func TestReadyzGenerational(t *testing.T) {
+	src := newFakeSource()
+	src.reloading = true
+	s := newGenServer(t, src, Options{})
+
+	// A rebuild in flight does not degrade readiness: the old generation
+	// keeps serving.
+	w := do(t, s, "/readyz")
+	if w.Code != http.StatusOK {
+		t.Fatalf("readyz during reload: %d", w.Code)
+	}
+	ready := decode[ReadyResponse](t, w)
+	if !ready.Ready || !ready.Reloading || ready.Generation != 1 {
+		t.Fatalf("readyz during reload = %+v", ready)
+	}
+
+	snap := decode[Snapshot](t, do(t, s, "/metrics"))
+	if snap.Generation != 1 || !snap.Reloading {
+		t.Fatalf("metrics generation fields = gen %d reloading %v", snap.Generation, snap.Reloading)
+	}
+}

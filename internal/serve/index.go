@@ -160,6 +160,11 @@ func (idx *Index) NumASNs() int {
 	return n
 }
 
+// NumMinority reports how many minority-holding records the index
+// covers — with NumOrgs/NumASNs, the quick per-generation shape summary
+// cmd/query and the snapshot tests print.
+func (idx *Index) NumMinority() int { return len(idx.ds.Minority) }
+
 // org materializes the i-th organization row.
 func (idx *Index) org(i int) Org {
 	return Org{Record: &idx.ds.Organizations[i], ASNs: idx.ds.ASNs[i].ASNs}

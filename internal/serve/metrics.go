@@ -124,12 +124,16 @@ type BuildNodeTiming struct {
 // produced the served dataset (filled by the server when it holds a
 // health report; absent otherwise).
 type Snapshot struct {
-	InFlight     int                `json:"in_flight"`
-	Requests     uint64             `json:"requests"`
-	Endpoints    []EndpointSnapshot `json:"endpoints"`
-	Cache        CacheStats         `json:"cache"`
-	BuildWorkers int                `json:"build_workers,omitempty"`
-	BuildNodes   []BuildNodeTiming  `json:"build_nodes,omitempty"`
+	InFlight  int                `json:"in_flight"`
+	Requests  uint64             `json:"requests"`
+	Endpoints []EndpointSnapshot `json:"endpoints"`
+	Cache     CacheStats         `json:"cache"`
+	// Generation is the live dataset generation at snapshot time;
+	// Reloading reports whether a rebuild was in flight.
+	Generation   int               `json:"generation"`
+	Reloading    bool              `json:"reloading"`
+	BuildWorkers int               `json:"build_workers,omitempty"`
+	BuildNodes   []BuildNodeTiming `json:"build_nodes,omitempty"`
 }
 
 // Snapshot captures the registry (endpoints sorted by name for a stable

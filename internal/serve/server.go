@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"time"
 
+	"stateowned/internal/churn"
 	"stateowned/internal/expand"
 	"stateowned/internal/nameutil"
 	"stateowned/internal/runner"
@@ -18,9 +19,11 @@ import (
 
 // Options configures a Server.
 type Options struct {
-	// Health is the pipeline run's degradation report; /readyz summarizes
-	// it. Nil means "no health information" and /readyz always reports
-	// ready.
+	// Health is the pipeline run's degradation report when the server is
+	// built over a single static index (New); /readyz summarizes it.
+	// Nil means "no health information" and /readyz always reports
+	// ready. Generational sources (NewDynamic) carry health per View
+	// and ignore this field.
 	Health *runner.Health
 	// CacheSize bounds the LRU response cache in entries (<= 0 disables
 	// caching).
@@ -31,23 +34,44 @@ type Options struct {
 	SearchLimit int
 }
 
-// Server serves an Index over HTTP. All state reached by handlers is
-// either immutable (the Index) or internally synchronized (cache,
-// metrics), so the server is safe under arbitrary request concurrency.
+// GenerationHeader is the response header naming the generation a /v1
+// answer was served from. The hot-reload soak test keys its
+// consistency check on it: a response's body must match a pinned
+// ?gen=<header> replay byte for byte.
+const GenerationHeader = "X-Generation"
+
+// Server serves a generational dataset Source over HTTP. All state
+// reached by handlers is either immutable once published (Views and
+// their Indexes) or internally synchronized (source, cache, metrics),
+// so the server is safe under arbitrary request concurrency — including
+// concurrent generation swaps: a request resolves its View once and
+// answers entirely from it.
 type Server struct {
-	idx     *Index
-	health  *runner.Health
+	src     Source
 	cache   *Cache
 	metrics *Metrics
 	mux     *http.ServeMux
 	limit   int
 }
 
-// New assembles a Server over a compiled Index.
+// New assembles a Server over a single compiled Index: a static,
+// generation-0-only source with no churn schedule. Use NewDynamic for
+// a hot-reloading generational source (internal/snapshot).
 func New(idx *Index, opts Options) *Server {
+	return NewDynamic(&staticSource{view: View{
+		Index:      idx,
+		Health:     opts.Health,
+		Provenance: Provenance{Origin: "static"},
+	}}, opts)
+}
+
+// NewDynamic assembles a Server over a generational Source. The server
+// itself holds no dataset state: every request resolves a View (the
+// live generation, or a retained one pinned with ?gen=N) and answers
+// from its immutable index.
+func NewDynamic(src Source, opts Options) *Server {
 	s := &Server{
-		idx:     idx,
-		health:  opts.Health,
+		src:     src,
 		cache:   NewCache(opts.CacheSize),
 		metrics: NewMetrics(opts.Clock),
 		mux:     http.NewServeMux(),
@@ -61,6 +85,7 @@ func New(idx *Index, opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/org/{id}", s.cached("/v1/org", s.handleOrg))
 	s.mux.HandleFunc("GET /v1/search", s.cached("/v1/search", s.handleSearch))
 	s.mux.HandleFunc("GET /v1/dataset", s.cached("/v1/dataset", s.handleDataset))
+	s.mux.HandleFunc("GET /v1/diff", s.instrumented("/v1/diff", s.handleDiff))
 	s.mux.HandleFunc("GET /healthz", s.instrumented("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /readyz", s.instrumented("/readyz", s.handleReadyz))
 	s.mux.HandleFunc("GET /metrics", s.instrumented("/metrics", s.handleMetrics))
@@ -78,6 +103,16 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // CacheStats exposes the response-cache accounting.
 func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// InvalidateGeneration purges every cached response that was answered
+// from the given generation. The snapshot store calls this when a
+// generation leaves the retention ring: entries of still-retained
+// generations remain valid (responses are pure functions of
+// (generation, canonical request)), so only evicted generations need
+// purging — and a stale answer cannot survive a swap in any case,
+// because unpinned requests resolve their generation before the cache
+// is consulted.
+func (s *Server) InvalidateGeneration(gen int) { s.cache.PurgeGeneration(gen) }
 
 // Serve accepts connections on ln until ctx is canceled, then shuts the
 // server down gracefully (in-flight requests get drainTimeout to
@@ -127,8 +162,40 @@ func errResponse(status int, msg string) response {
 	return jsonResponse(status, errorBody{Error: msg})
 }
 
+// resolveView resolves the generation a request addresses: the live
+// generation by default, or the retained generation ?gen=N pins. On
+// failure the returned view is nil and the response distinguishes a
+// malformed number (400), a generation never built (404) and one
+// evicted from the retention ring (410).
+func (s *Server) resolveView(r *http.Request) (*View, response) {
+	raw, ok := r.URL.Query()["gen"]
+	if !ok {
+		return s.src.Current(), response{}
+	}
+	return s.lookupGen(raw[0], "gen")
+}
+
+// lookupGen parses and resolves one generation query parameter.
+func (s *Server) lookupGen(raw, param string) (*View, response) {
+	n, err := strconv.ParseInt(raw, 10, 32)
+	if err != nil || n < 0 {
+		return nil, errResponse(http.StatusBadRequest,
+			fmt.Sprintf("invalid ?%s=%q: want a non-negative generation number", param, raw))
+	}
+	v, st := s.src.Generation(int(n))
+	switch st {
+	case GenOK:
+		return v, response{}
+	case GenEvicted:
+		return nil, errResponse(http.StatusGone,
+			fmt.Sprintf("generation %d has been evicted from the retention ring", n))
+	default:
+		return nil, errResponse(http.StatusNotFound, fmt.Sprintf("unknown generation %d", n))
+	}
+}
+
 // instrumented wraps a handler with metrics accounting only (the
-// health/metrics endpoints must never serve stale cached state).
+// health/metrics/diff endpoints must never serve cached state).
 func (s *Server) instrumented(endpoint string, fn func(*http.Request) response) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := s.metrics.Begin()
@@ -138,21 +205,31 @@ func (s *Server) instrumented(endpoint string, fn func(*http.Request) response) 
 	}
 }
 
-// cached wraps a handler with metrics plus the LRU response cache.
-// Every /v1 response is a pure function of the canonicalized request
-// (the Index is immutable), so hits and misses alike are cacheable —
-// including deterministic errors like a 400 for a malformed ASN.
-func (s *Server) cached(endpoint string, fn func(*http.Request) response) http.HandlerFunc {
+// cached wraps a /v1 handler with generation resolution, metrics, and
+// the LRU response cache. Every /v1 response is a pure function of the
+// (generation, canonicalized request) pair — each generation's Index is
+// immutable — so hits and misses alike are cacheable, including
+// deterministic errors like a 400 for a malformed ASN. The generation
+// lands in the cache key (a swap can therefore never replay a stale
+// generation's answer) and tags the entry so eviction can purge it.
+func (s *Server) cached(endpoint string, fn func(*View, *http.Request) response) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := s.metrics.Begin()
-		key := endpoint + "\x00" + canonicalKey(r)
+		view, errResp := s.resolveView(r)
+		if view == nil {
+			s.write(w, errResp)
+			s.metrics.End(endpoint, errResp.status, start)
+			return
+		}
+		w.Header().Set(GenerationHeader, strconv.Itoa(view.Gen))
+		key := "g" + strconv.Itoa(view.Gen) + "\x00" + endpoint + "\x00" + canonicalKey(r)
 		if hit, ok := s.cache.Get(key); ok {
 			s.write(w, response{status: hit.Status, contentType: hit.ContentType, body: hit.Body})
 			s.metrics.End(endpoint, hit.Status, start)
 			return
 		}
-		resp := fn(r)
-		s.cache.Put(key, CachedResponse{Status: resp.status, ContentType: resp.contentType, Body: resp.body})
+		resp := fn(view, r)
+		s.cache.Put(key, view.Gen, CachedResponse{Status: resp.status, ContentType: resp.contentType, Body: resp.body})
 		s.write(w, resp)
 		s.metrics.End(endpoint, resp.status, start)
 	}
@@ -161,7 +238,8 @@ func (s *Server) cached(endpoint string, fn func(*http.Request) response) http.H
 // canonicalKey reduces a request to its canonical lookup form so that
 // equivalent requests share one cache entry: country codes upper-cased,
 // ASNs numerically normalized (leading zeros dropped), search names
-// name-normalized, the effective search limit spelled out.
+// name-normalized, the effective search limit spelled out. The
+// generation is not part of this form — the cache wrapper prefixes it.
 func canonicalKey(r *http.Request) string {
 	if cc := r.PathValue("cc"); cc != "" {
 		return "cc:" + CanonicalCC(cc)
@@ -201,14 +279,14 @@ type ASNResponse struct {
 	Minority     []expand.MinorityRecord `json:"minority,omitempty"`
 }
 
-func (s *Server) handleASN(r *http.Request) response {
+func (s *Server) handleASN(v *View, r *http.Request) response {
 	raw := r.PathValue("asn")
 	n, err := strconv.ParseUint(raw, 10, 32)
 	if err != nil || n == 0 {
 		return errResponse(http.StatusBadRequest, fmt.Sprintf("invalid ASN %q", raw))
 	}
 	a := world.ASN(n)
-	org, minority, owned := s.idx.ASN(a)
+	org, minority, owned := v.Index.ASN(a)
 	body := ASNResponse{ASN: a, Status: "none", Minority: minority}
 	status := http.StatusNotFound
 	switch {
@@ -230,9 +308,9 @@ type OrgResponse struct {
 	ASNs         []world.ASN       `json:"asn"`
 }
 
-func (s *Server) handleOrg(r *http.Request) response {
+func (s *Server) handleOrg(v *View, r *http.Request) response {
 	id := r.PathValue("id")
-	org, ok := s.idx.Org(id)
+	org, ok := v.Index.Org(id)
 	if !ok {
 		return errResponse(http.StatusNotFound, fmt.Sprintf("unknown organization %q", id))
 	}
@@ -247,12 +325,12 @@ type CountryResponse struct {
 	Minority      []expand.MinorityRecord `json:"minority,omitempty"`
 }
 
-func (s *Server) handleCountry(r *http.Request) response {
+func (s *Server) handleCountry(v *View, r *http.Request) response {
 	cc := CanonicalCC(r.PathValue("cc"))
 	if len(cc) != 2 || cc[0] < 'A' || cc[0] > 'Z' || cc[1] < 'A' || cc[1] > 'Z' {
 		return errResponse(http.StatusBadRequest, fmt.Sprintf("invalid country code %q", r.PathValue("cc")))
 	}
-	orgs, minority := s.idx.Country(cc)
+	orgs, minority := v.Index.Country(cc)
 	body := CountryResponse{CC: cc, Organizations: []OrgResponse{}, Minority: minority}
 	for _, o := range orgs {
 		body.Organizations = append(body.Organizations, OrgResponse{Organization: o.Record, ASNs: o.ASNs})
@@ -274,7 +352,7 @@ type SearchHitRecord struct {
 	ASNs         []world.ASN       `json:"asn"`
 }
 
-func (s *Server) handleSearch(r *http.Request) response {
+func (s *Server) handleSearch(v *View, r *http.Request) response {
 	q := r.URL.Query()
 	name := q.Get("name")
 	if nameutil.Normalize(name) == "" {
@@ -291,7 +369,7 @@ func (s *Server) handleSearch(r *http.Request) response {
 		}
 	}
 	body := SearchResponse{Query: nameutil.Normalize(name), Hits: []SearchHitRecord{}}
-	for _, h := range s.idx.Search(name, limit) {
+	for _, h := range v.Index.Search(name, limit) {
 		body.Hits = append(body.Hits, SearchHitRecord{
 			Score: h.Score, Organization: h.Org.Record, ASNs: h.Org.ASNs,
 		})
@@ -299,12 +377,54 @@ func (s *Server) handleSearch(r *http.Request) response {
 	return jsonResponse(http.StatusOK, body)
 }
 
-func (s *Server) handleDataset(*http.Request) response {
+// DatasetResponse wraps the Listing-1 export with the generation it
+// came from and the build's provenance.
+type DatasetResponse struct {
+	Generation int             `json:"generation"`
+	Provenance Provenance      `json:"provenance"`
+	Dataset    json.RawMessage `json:"dataset"`
+}
+
+func (s *Server) handleDataset(v *View, _ *http.Request) response {
 	var buf bytes.Buffer
-	if err := s.idx.Dataset().Export(&buf); err != nil {
+	if err := v.Index.Dataset().Export(&buf); err != nil {
 		return errResponse(http.StatusInternalServerError, "exporting dataset")
 	}
-	return response{status: http.StatusOK, contentType: "application/json", body: buf.Bytes()}
+	return jsonResponse(http.StatusOK, DatasetResponse{
+		Generation: v.Gen, Provenance: v.Provenance, Dataset: buf.Bytes(),
+	})
+}
+
+// DiffResponse is the ownership-churn audit between two retained
+// generations: Audit is exactly churn.RunAudit of `from`'s published
+// dataset against `to`'s ground-truth world — what a maintainer of the
+// paper's dataset would have to edit to bring the old list up to date.
+type DiffResponse struct {
+	From  int         `json:"from"`
+	To    int         `json:"to"`
+	Audit churn.Audit `json:"audit"`
+}
+
+func (s *Server) handleDiff(r *http.Request) response {
+	q := r.URL.Query()
+	rawFrom, okFrom := q["from"]
+	rawTo, okTo := q["to"]
+	if !okFrom || !okTo {
+		return errResponse(http.StatusBadRequest, "need both ?from= and ?to= generation numbers")
+	}
+	from, errResp := s.lookupGen(rawFrom[0], "from")
+	if from == nil {
+		return errResp
+	}
+	to, errResp := s.lookupGen(rawTo[0], "to")
+	if to == nil {
+		return errResp
+	}
+	audit, ok := s.src.Diff(from, to)
+	if !ok {
+		return errResponse(http.StatusNotFound, "diff unavailable: this server's source keeps no ground truth")
+	}
+	return jsonResponse(http.StatusOK, DiffResponse{From: from.Gen, To: to.Gen, Audit: *audit})
 }
 
 // --- health and metrics ----------------------------------------------------
@@ -330,11 +450,15 @@ type StageStatus struct {
 	Note string `json:"note"`
 }
 
-// ReadyResponse summarizes the pipeline run's runner.Health: ready means
-// no source went unavailable (degraded-but-present sources still serve,
-// they are just listed).
+// ReadyResponse summarizes the live generation's runner.Health: ready
+// means no source went unavailable in the build that produced it
+// (degraded-but-present sources still serve, they are just listed).
+// During a hot reload the old generation keeps serving, so readiness
+// stays green — Reloading only reports that a rebuild is in flight.
 type ReadyResponse struct {
 	Ready          bool           `json:"ready"`
+	Generation     int            `json:"generation"`
+	Reloading      bool           `json:"reloading"`
 	ChaosSeverity  float64        `json:"chaos_severity"`
 	Sources        []SourceStatus `json:"sources,omitempty"`
 	Degraded       []string       `json:"degraded_sources,omitempty"`
@@ -343,15 +467,16 @@ type ReadyResponse struct {
 }
 
 func (s *Server) handleReadyz(*http.Request) response {
-	if s.health == nil {
-		return jsonResponse(http.StatusOK, ReadyResponse{Ready: true})
+	v := s.src.Current()
+	body := ReadyResponse{Generation: v.Gen, Reloading: s.src.Reloading()}
+	if v.Health == nil {
+		body.Ready = true
+		return jsonResponse(http.StatusOK, body)
 	}
-	h := s.health
-	body := ReadyResponse{
-		ChaosSeverity: h.Severity,
-		Degraded:      h.DegradedSources(),
-		Unavailable:   h.UnavailableSources(),
-	}
+	h := v.Health
+	body.ChaosSeverity = h.Severity
+	body.Degraded = h.DegradedSources()
+	body.Unavailable = h.UnavailableSources()
 	for _, sh := range h.Sources() {
 		body.Sources = append(body.Sources, SourceStatus{
 			Name: sh.Name, Status: sh.Status.String(),
@@ -362,7 +487,7 @@ func (s *Server) handleReadyz(*http.Request) response {
 	for _, st := range h.DegradedStages() {
 		body.DegradedStages = append(body.DegradedStages, StageStatus{Name: st.Name, Note: st.Note})
 	}
-	body.Ready = len(body.Unavailable) == 0
+	body.Ready = h.Ready()
 	status := http.StatusOK
 	if !body.Ready {
 		status = http.StatusServiceUnavailable
@@ -371,11 +496,14 @@ func (s *Server) handleReadyz(*http.Request) response {
 }
 
 func (s *Server) handleMetrics(*http.Request) response {
+	v := s.src.Current()
 	snap := s.metrics.Snapshot()
 	snap.Cache = s.cache.Stats()
-	if s.health != nil {
-		snap.BuildWorkers = s.health.Workers
-		for _, nt := range s.health.Timings {
+	snap.Generation = v.Gen
+	snap.Reloading = s.src.Reloading()
+	if h := v.Health; h != nil {
+		snap.BuildWorkers = h.Workers
+		for _, nt := range h.Timings {
 			snap.BuildNodes = append(snap.BuildNodes, BuildNodeTiming{
 				Node:   nt.Node,
 				WallMS: float64(nt.Wall) / float64(time.Millisecond),

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"net"
@@ -133,7 +134,11 @@ func TestEndpointDatasetRoundTrips(t *testing.T) {
 	if w.Code != http.StatusOK {
 		t.Fatalf("dataset: %d", w.Code)
 	}
-	ds, err := expand.Import(w.Body)
+	wrap := decode[DatasetResponse](t, w)
+	if wrap.Generation != 0 || wrap.Provenance.Origin != "static" {
+		t.Fatalf("dataset envelope = gen %d origin %q", wrap.Generation, wrap.Provenance.Origin)
+	}
+	ds, err := expand.Import(bytes.NewReader(wrap.Dataset))
 	if err != nil {
 		t.Fatalf("re-importing served dataset: %v", err)
 	}

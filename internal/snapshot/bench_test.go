@@ -1,0 +1,41 @@
+package snapshot
+
+import (
+	"fmt"
+	"testing"
+
+	"stateowned"
+)
+
+// BenchmarkReloadSwap measures the publish step alone — the only part
+// of a reload that live traffic can observe. It is one atomic pointer
+// store plus ring bookkeeping, so the cost must be O(1) in world size:
+// the three scales differ by an order of magnitude in dataset size but
+// must land within noise of each other. (EXPERIMENTS.md records the
+// numbers.)
+func BenchmarkReloadSwap(b *testing.B) {
+	for _, scale := range []float64{0.02, 0.05, 0.1} {
+		scale := scale
+		b.Run(fmt.Sprintf("scale%.2f", scale), func(b *testing.B) {
+			s := New(Options{Base: stateowned.Config{Seed: 7, Scale: scale}})
+			g := s.build(1) // prebuilt: the benchmark times only the cutover
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.publish(g)
+			}
+		})
+	}
+}
+
+// BenchmarkAdvance is the contrast number: a full rebuild+swap cycle,
+// dominated by the pipeline build. The gap between this and
+// BenchmarkReloadSwap is the reload pause a serve-the-new-generation-
+// in-place design would impose on traffic — and the atomic-swap design
+// does not.
+func BenchmarkAdvance(b *testing.B) {
+	s := New(Options{Base: stateowned.Config{Seed: 7, Scale: 0.05}})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Advance()
+	}
+}

@@ -1,0 +1,319 @@
+// Package snapshot is the generational dataset store behind hot-reload
+// serving: it owns a sequence of (world, pipeline Result, serving
+// index) generations, evolves the ground-truth world between them with
+// the seeded ownership-churn model, rebuilds each generation through
+// the full hardened pipeline, and publishes the result to live HTTP
+// traffic with a single atomic pointer swap — in-flight requests finish
+// on the generation they resolved, new requests see the new one, and
+// nothing is ever torn.
+//
+// The paper's dataset is a snapshot of a moving target (the authors
+// date theirs April 2020 and measure how fast it decays); this package
+// models the operational answer: a serving layer whose dataset advances
+// through churned generations while staying continuously queryable,
+// with a bounded ring of retained generations for pinned queries and
+// an audit diff between any two retained generations.
+//
+// Determinism is load-bearing: generation g's world is rebuilt from
+// scratch as Generate(Base) + g seeded Evolve steps, so a generation's
+// content is a pure function of (Base config, churn seed, g) —
+// independent of worker count, reload timing, and map iteration order.
+// The differential tests enforce this against golden files and offline
+// churn audits.
+package snapshot
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stateowned"
+	"stateowned/internal/churn"
+	"stateowned/internal/rng"
+	"stateowned/internal/serve"
+	"stateowned/internal/world"
+)
+
+// DefaultRetain is the retention-ring size when Options.Retain is 0:
+// the live generation plus three predecessors stay pinnable.
+const DefaultRetain = 4
+
+// Options configures a Store.
+type Options struct {
+	// Base is the pipeline configuration every generation is built with.
+	// Base.World must be nil — the store owns world construction; it
+	// installs each generation's churn-evolved world through that hook.
+	Base stateowned.Config
+	// ChurnSeed seeds the ownership-churn schedule independently of the
+	// world (0 = derive from Base.Seed), so one world can be replayed
+	// under different churn histories.
+	ChurnSeed uint64
+	// YearsPerGen is how many simulated years of churn separate
+	// consecutive generations (0 = 1).
+	YearsPerGen int
+	// Rates sets the churn event probabilities (zero value = DefaultRates).
+	Rates churn.Rates
+	// Retain bounds the generation ring: how many generations (including
+	// the live one) stay resident and pinnable. 0 = DefaultRetain;
+	// minimum 1.
+	Retain int
+}
+
+// Generation is one fully built dataset generation: the churn-evolved
+// ground truth, the pipeline Result built over it, the compiled serving
+// index, and the churn events that separate it from its predecessor.
+// All fields are frozen once the generation is published.
+type Generation struct {
+	// Gen is the generation number; 0 is the initial build with no churn
+	// applied.
+	Gen int
+	// World is this generation's ground truth.
+	World *world.World
+	// Result is the full pipeline output built over World.
+	Result *stateowned.Result
+	// Index is the compiled serving index (Result.Index(), memoized).
+	Index *serve.Index
+	// Events are the churn events applied to the predecessor's world to
+	// reach this one (empty for generation 0); TotalEvents is cumulative.
+	Events      []churn.Event
+	TotalEvents int
+
+	view serve.View
+}
+
+// View returns the generation as the serving layer sees it.
+func (g *Generation) View() *serve.View { return &g.view }
+
+// Store is the generational dataset store. One background builder
+// advances generations (Advance/Reload); any number of request
+// goroutines read the live generation through Current/Lookup. The
+// publish path is a single atomic pointer store, so readers never block
+// on a rebuild and never observe a partially built generation.
+type Store struct {
+	opts      Options
+	churnBase *rng.Stream
+
+	// current is the live generation, swapped atomically at publish.
+	current atomic.Pointer[Generation]
+	// reloading is true while a rebuild is in flight.
+	reloading atomic.Bool
+	swaps     atomic.Uint64
+
+	// buildMu serializes builders (Advance is safe to call concurrently,
+	// advances just queue); mu guards the retention ring.
+	buildMu sync.Mutex
+	mu      sync.RWMutex
+	ring    []*Generation
+
+	onEvict func(gen int)
+}
+
+// New creates a Store and synchronously builds generation 0 (the
+// pristine pipeline run — bit-identical to stateowned.Run(Base)).
+func New(opts Options) *Store {
+	if opts.Base.World != nil {
+		panic("snapshot.New: Base.World must be nil; the store owns world construction")
+	}
+	if opts.Base.Scale <= 0 {
+		opts.Base.Scale = 1.0
+	}
+	if opts.YearsPerGen <= 0 {
+		opts.YearsPerGen = 1
+	}
+	if opts.Rates == (churn.Rates{}) {
+		opts.Rates = churn.DefaultRates()
+	}
+	if opts.Retain <= 0 {
+		opts.Retain = DefaultRetain
+	}
+	seed := opts.ChurnSeed
+	if seed == 0 {
+		seed = rng.New(opts.Base.Seed).Sub("churn-schedule").Uint64()
+	}
+	opts.ChurnSeed = seed
+	s := &Store{opts: opts, churnBase: rng.New(seed)}
+	s.publish(s.build(0))
+	return s
+}
+
+// churnSeed derives the seed for the Evolve step leading into
+// generation g, stable across rebuilds and restarts.
+func (s *Store) churnSeed(g int) uint64 {
+	return s.churnBase.Sub(fmt.Sprintf("generation/%d", g)).Uint64()
+}
+
+// build constructs generation gen from first principles: a fresh world
+// from the base config, gen seeded churn steps, then the full hardened
+// pipeline over the evolved world. Rebuilding from scratch (rather than
+// evolving the previous generation's world in place) keeps every
+// retained generation frozen and makes the content reproducible from
+// the generation number alone.
+func (s *Store) build(gen int) *Generation {
+	cfg := s.opts.Base
+	w := world.Generate(world.Config{Seed: cfg.Seed, Scale: cfg.Scale, Countries: cfg.Countries})
+	var events []churn.Event
+	total := 0
+	for i := 1; i <= gen; i++ {
+		events = churn.Evolve(w, s.opts.YearsPerGen, s.churnSeed(i), s.opts.Rates)
+		total += len(events)
+	}
+	cfg.World = w
+	res := stateowned.Run(cfg)
+	g := &Generation{
+		Gen: gen, World: w, Result: res, Index: res.Index(),
+		Events: events, TotalEvents: total,
+	}
+	g.view = serve.View{
+		Gen:    gen,
+		Index:  g.Index,
+		Health: res.Health,
+		Provenance: serve.Provenance{
+			Origin:      "generational",
+			Seed:        cfg.Seed,
+			Scale:       cfg.Scale,
+			ChurnSeed:   s.opts.ChurnSeed,
+			YearsPerGen: s.opts.YearsPerGen,
+			Events:      len(events),
+			TotalEvents: total,
+		},
+	}
+	return g
+}
+
+// publish makes g the live generation and trims the retention ring,
+// notifying the eviction hook (outside the lock) for each generation
+// that fell off.
+func (s *Store) publish(g *Generation) {
+	var evicted []int
+	s.mu.Lock()
+	s.ring = append(s.ring, g)
+	s.current.Store(g) // the swap: new requests see g from here on
+	for len(s.ring) > s.opts.Retain {
+		evicted = append(evicted, s.ring[0].Gen)
+		s.ring[0] = nil
+		s.ring = s.ring[1:]
+	}
+	hook := s.onEvict
+	s.mu.Unlock()
+	s.swaps.Add(1)
+	if hook != nil {
+		for _, gen := range evicted {
+			hook(gen)
+		}
+	}
+}
+
+// OnEvict registers a hook called (outside store locks) with each
+// generation number that leaves the retention ring — the server wires
+// its cache purge here. Register before the first Advance.
+func (s *Store) OnEvict(fn func(gen int)) {
+	s.mu.Lock()
+	s.onEvict = fn
+	s.mu.Unlock()
+}
+
+// Advance builds and publishes the next generation, blocking until the
+// swap. Requests keep being served from the old generation for the
+// whole build; the cutover itself is one atomic store.
+func (s *Store) Advance() *Generation {
+	s.buildMu.Lock()
+	defer s.buildMu.Unlock()
+	s.reloading.Store(true)
+	defer s.reloading.Store(false)
+	g := s.build(s.current.Load().Gen + 1)
+	s.publish(g)
+	return g
+}
+
+// Reload advances generations on a fixed cadence until ctx is
+// canceled. logf (nil = silent) receives one line per swap.
+func (s *Store) Reload(ctx context.Context, every time.Duration, logf func(format string, args ...any)) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			g := s.Advance()
+			if logf != nil {
+				logf("snapshot: generation %d live (%d churn events, %d orgs, %d ASNs)",
+					g.Gen, len(g.Events), g.Index.NumOrgs(), g.Index.NumASNs())
+			}
+		}
+	}
+}
+
+// Current returns the live generation.
+func (s *Store) Current() *Generation { return s.current.Load() }
+
+// Swaps reports how many generations have been published (including
+// generation 0).
+func (s *Store) Swaps() uint64 { return s.swaps.Load() }
+
+// Reloading reports whether a rebuild is in flight.
+func (s *Store) Reloading() bool { return s.reloading.Load() }
+
+// Retained lists the generation numbers currently in the ring, oldest
+// first.
+func (s *Store) Retained() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]int, len(s.ring))
+	for i, g := range s.ring {
+		out[i] = g.Gen
+	}
+	return out
+}
+
+// Lookup resolves a generation number against the retention ring.
+func (s *Store) Lookup(n int) (*Generation, serve.GenStatus) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.ring) == 0 || n > s.ring[len(s.ring)-1].Gen {
+		return nil, serve.GenUnknown
+	}
+	oldest := s.ring[0].Gen
+	if n < oldest {
+		return nil, serve.GenEvicted
+	}
+	return s.ring[n-oldest], serve.GenOK
+}
+
+// Source adapts the store to the serving layer's generational Source
+// interface.
+func (s *Store) Source() serve.Source { return storeSource{s} }
+
+// storeSource is the serve.Source adapter; a separate type keeps the
+// store's own method set free of the interface's view-level signatures.
+type storeSource struct{ s *Store }
+
+// Current returns the live generation's view.
+func (ss storeSource) Current() *serve.View { return ss.s.Current().View() }
+
+// Generation resolves a pinned generation number.
+func (ss storeSource) Generation(n int) (*serve.View, serve.GenStatus) {
+	g, st := ss.s.Lookup(n)
+	if st != serve.GenOK {
+		return nil, st
+	}
+	return g.View(), st
+}
+
+// Diff audits `from`'s published dataset against `to`'s ground-truth
+// world — exactly churn.RunAudit over the two retained generations, so
+// the HTTP answer is byte-identical to the offline audit.
+func (ss storeSource) Diff(from, to *serve.View) (*churn.Audit, bool) {
+	gf, stf := ss.s.Lookup(from.Gen)
+	gt, stt := ss.s.Lookup(to.Gen)
+	if stf != serve.GenOK || stt != serve.GenOK {
+		return nil, false
+	}
+	a := churn.RunAudit(gf.Result.Dataset, gt.World)
+	return &a, true
+}
+
+// Reloading reports whether a rebuild is in flight.
+func (ss storeSource) Reloading() bool { return ss.s.Reloading() }

@@ -127,6 +127,13 @@ func runHardened(cfg Config, plan faults.Plan) *Result {
 	}
 
 	add("world", func(func(string, bool, string)) error {
+		// A caller-supplied world (the snapshot store's churn-evolved
+		// ground truth) short-circuits generation; everything downstream
+		// is oblivious to where the world came from.
+		if cfg.World != nil {
+			res.World = cfg.World
+			return nil
+		}
 		res.World = world.Generate(world.Config{
 			Seed: cfg.Seed, Scale: cfg.Scale, Countries: cfg.Countries,
 		})

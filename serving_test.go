@@ -7,6 +7,7 @@ package stateowned
 // readiness-under-chaos contract.
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -209,13 +210,22 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatalf("search %q found nothing", name)
 	}
 
-	// Full dataset export round-trips through the importer.
+	// Full dataset export round-trips through the importer, wrapped in
+	// the generation/provenance envelope.
 	resp, err := http.Get(ts.URL + "/v1/dataset")
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := expand.Import(resp.Body)
+	var wrap serve.DatasetResponse
+	err = json.NewDecoder(resp.Body).Decode(&wrap)
 	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("decoding dataset envelope: %v", err)
+	}
+	if wrap.Generation != 0 || wrap.Provenance.Origin != "static" {
+		t.Fatalf("dataset envelope = gen %d origin %q", wrap.Generation, wrap.Provenance.Origin)
+	}
+	got, err := expand.Import(bytes.NewReader(wrap.Dataset))
 	if err != nil {
 		t.Fatalf("re-importing served dataset: %v", err)
 	}

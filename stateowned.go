@@ -71,6 +71,15 @@ type Config struct {
 	// every worker count — the determinism tests enforce it.
 	Workers int
 
+	// World, when non-nil, supplies a pre-built ground truth instead of
+	// generating one from Seed/Scale/Countries — the hook the
+	// generational snapshot store (internal/snapshot) uses to rebuild
+	// the pipeline over a churn-evolved world. The world is adopted, not
+	// copied: callers must not mutate it while the Result is alive. A
+	// world generated with the same Seed/Scale/Countries yields a run
+	// bit-identical to one without the override.
+	World *world.World
+
 	// Ablation switches (all false for the paper-faithful pipeline).
 	DisableGeo      bool
 	DisableEyeballs bool
