@@ -17,6 +17,8 @@
 //
 //	serve [-addr :8080] [-seed N] [-scale F] [-workers N] [-chaos F] [-chaos-seed N] [-cache N]
 //	      [-reload-every D] [-generations N] [-churn-seed N]
+//	      [-max-inflight N] [-queue-wait D] [-request-timeout D] [-drain-timeout D]
+//	      [-reload-max-churn F] [-reload-max-failures N]
 //
 // With -chaos > 0 the pipeline builds under a seeded fault plan and
 // /readyz reflects the degraded sources (503 when a source went
@@ -24,6 +26,18 @@
 // generation's pipeline run (0 = GOMAXPROCS; the served dataset is
 // identical for every worker count); /metrics reports the per-node
 // build times.
+//
+// Overload and failure containment: -max-inflight bounds concurrently
+// executing /v1 requests (excess waits up to -queue-wait, then is shed
+// with 503 + Retry-After); -request-timeout is the per-request handler
+// budget (expensive endpoints — /v1/diff, /v1/search — get half; 504 on
+// overrun); -reload-max-churn and -reload-max-failures configure the
+// reload validation gate — a rebuilt generation whose dataset churned
+// more than the bound (or that is empty, unhealthy, or panicked) is
+// quarantined and the server keeps answering from the last good
+// generation, retrying under capped exponential backoff and reporting
+// the degraded state on /readyz and /metrics. SIGINT/SIGTERM triggers a
+// graceful drain bounded by -drain-timeout.
 package main
 
 import (
@@ -55,6 +69,12 @@ func main() {
 	reloadEvery := flag.Duration("reload-every", time.Duration(0), "rebuild and hot-swap the next dataset generation on this cadence (0 = serve generation 0 forever)")
 	generations := flag.Int("generations", snapshot.DefaultRetain, "retention ring: how many generations stay pinnable via ?gen=N")
 	churnSeed := flag.Uint64("churn-seed", 0, "ownership-churn schedule seed (0 = derive from -seed)")
+	maxInflight := flag.Int("max-inflight", serve.DefaultMaxInFlight, "admission control: max concurrently executing /v1 requests (0 = off)")
+	queueWait := flag.Duration("queue-wait", serve.DefaultQueueWait, "admission control: how long an over-limit request may wait for a slot before being shed with 503")
+	requestTimeout := flag.Duration("request-timeout", serve.DefaultRequestTimeout, "per-request handler budget; expensive endpoints get half (0 = no deadline)")
+	drainTimeout := flag.Duration("drain-timeout", serve.DefaultDrainTimeout, "graceful-shutdown drain budget after SIGINT/SIGTERM")
+	reloadMaxChurn := flag.Float64("reload-max-churn", snapshot.DefaultMaxChurnFraction, "reload gate: quarantine a rebuilt generation whose state-owned ASN set churned more than this fraction (0 rejects any change; >= 1 disables the bound)")
+	reloadMaxFailures := flag.Int("reload-max-failures", 0, "reload gate: stop retrying after this many consecutive quarantined rebuilds and serve last-known-good until restart (0 = retry forever)")
 	flag.Parse()
 
 	if *scale <= 0 {
@@ -81,6 +101,30 @@ func main() {
 		log.Println("invalid -generations: must be >= 1")
 		os.Exit(2)
 	}
+	if *maxInflight < 0 || *maxInflight > serve.MaxInFlightCap {
+		log.Printf("invalid -max-inflight: must be in [0, %d]", serve.MaxInFlightCap)
+		os.Exit(2)
+	}
+	if *queueWait < 0 {
+		log.Println("invalid -queue-wait: must be >= 0")
+		os.Exit(2)
+	}
+	if *requestTimeout < 0 {
+		log.Println("invalid -request-timeout: must be >= 0")
+		os.Exit(2)
+	}
+	if *drainTimeout <= 0 {
+		log.Println("invalid -drain-timeout: must be > 0")
+		os.Exit(2)
+	}
+	if *reloadMaxChurn < 0 {
+		log.Println("invalid -reload-max-churn: must be >= 0")
+		os.Exit(2)
+	}
+	if *reloadMaxFailures < 0 {
+		log.Println("invalid -reload-max-failures: must be >= 0")
+		os.Exit(2)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -96,6 +140,10 @@ func main() {
 		},
 		ChurnSeed: *churnSeed,
 		Retain:    *generations,
+		Validation: &snapshot.Validation{
+			MaxChurnFraction: *reloadMaxChurn,
+			MaxFailures:      *reloadMaxFailures,
+		},
 	})
 	g := store.Current()
 	log.Printf("generation 0 live: %d organizations, %d state-owned ASNs, %d minority records",
@@ -104,8 +152,23 @@ func main() {
 		log.Printf("degraded sources: %v (see /readyz)", degraded)
 	}
 
+	var admission *serve.AdmissionConfig
+	if *maxInflight > 0 {
+		admission = &serve.AdmissionConfig{
+			MaxInFlight: *maxInflight,
+			QueueWait:   *queueWait,
+		}
+		if *queueWait == 0 {
+			// Flag semantics: an explicit zero means "no waiting", while the
+			// config's zero value means "default wait".
+			admission.QueueWait = -1
+		}
+	}
 	srv := serve.NewDynamic(store.Source(), serve.Options{
-		CacheSize: *cacheSize,
+		CacheSize:      *cacheSize,
+		Admission:      admission,
+		RequestTimeout: *requestTimeout,
+		DrainTimeout:   *drainTimeout,
 	})
 	store.OnEvict(srv.InvalidateGeneration)
 

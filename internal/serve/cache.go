@@ -25,6 +25,13 @@ type Cache struct {
 	hits     uint64
 	misses   uint64
 	purged   uint64
+	rejected uint64
+	// floor is the highest generation ever purged (-1 = none).
+	// Generations leave the retention ring oldest-first, so gen <=
+	// floor means "purged for good": a Put racing a concurrent
+	// PurgeGeneration (miss → purge → late fill) must be refused, or
+	// the dead entry would survive the purge forever.
+	floor int
 }
 
 type cacheEntry struct {
@@ -43,6 +50,7 @@ func NewCache(capacity int) *Cache {
 		capacity: capacity,
 		ll:       list.New(),
 		items:    make(map[string]*list.Element, capacity),
+		floor:    -1,
 	}
 }
 
@@ -67,13 +75,20 @@ func (c *Cache) Get(key string) (CachedResponse, bool) {
 
 // Put stores a response under key, tagged with the dataset generation
 // it was answered from, evicting the least recently used entry when the
-// cache is full.
+// cache is full. A fill for a generation at or below the purge floor is
+// refused: the filler raced PurgeGeneration (it resolved its view, then
+// the generation was evicted and purged while the handler ran) and its
+// entry would otherwise outlive the purge as unreclaimable dead weight.
 func (c *Cache) Put(key string, gen int, v CachedResponse) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if gen <= c.floor {
+		c.rejected++
+		return
+	}
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		ent := el.Value.(*cacheEntry)
@@ -104,6 +119,9 @@ func (c *Cache) PurgeGeneration(gen int) int {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if gen > c.floor {
+		c.floor = gen
+	}
 	n := 0
 	for el := c.ll.Front(); el != nil; {
 		next := el.Next()
@@ -126,8 +144,11 @@ type CacheStats struct {
 	Misses   uint64  `json:"misses"`
 	HitRatio float64 `json:"hit_ratio"`
 	// Purged counts entries dropped by PurgeGeneration when their
-	// generation left the retention ring.
-	Purged uint64 `json:"purged"`
+	// generation left the retention ring; Rejected counts late fills
+	// refused because their generation had already been purged (the
+	// fill/purge race).
+	Purged   uint64 `json:"purged"`
+	Rejected uint64 `json:"rejected"`
 }
 
 // Stats snapshots the cache accounting. A nil cache reports zeroes.
@@ -143,6 +164,7 @@ func (c *Cache) Stats() CacheStats {
 		Hits:     c.hits,
 		Misses:   c.misses,
 		Purged:   c.purged,
+		Rejected: c.rejected,
 	}
 	if total := c.hits + c.misses; total > 0 {
 		s.HitRatio = float64(c.hits) / float64(total)

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -88,6 +89,94 @@ func TestCachePurgeGeneration(t *testing.T) {
 	var nilCache *Cache
 	if n := nilCache.PurgeGeneration(0); n != 0 {
 		t.Fatalf("nil cache purge = %d", n)
+	}
+}
+
+// TestCacheLateFillAfterPurge is the deterministic core of the
+// fill/purge race: a handler resolved its view at generation 0, the
+// generation was then evicted and purged, and the handler's Put lands
+// after the purge. Without the purge floor the entry would survive the
+// purge forever (nothing purges generation 0 twice), serving a dead
+// generation's body to any later key collision and squatting capacity.
+func TestCacheLateFillAfterPurge(t *testing.T) {
+	c := NewCache(8)
+	c.PurgeGeneration(0)
+	c.Put("g0/a", 0, respBody("stale"))
+	if _, ok := c.Get("g0/a"); ok {
+		t.Fatal("late fill for a purged generation was accepted")
+	}
+	if st := c.Stats(); st.Rejected != 1 {
+		t.Fatalf("stats = %+v, want Rejected=1", st)
+	}
+	// Fills for generations above the floor still land.
+	c.Put("g1/a", 1, respBody("live"))
+	if _, ok := c.Get("g1/a"); !ok {
+		t.Fatal("live-generation fill rejected")
+	}
+	// The floor is monotonic: purging an older generation after a newer
+	// one must not lower it.
+	c.PurgeGeneration(3)
+	c.PurgeGeneration(1)
+	c.Put("g2/a", 2, respBody("dead"))
+	if _, ok := c.Get("g2/a"); ok {
+		t.Fatal("fill below the floor accepted after out-of-order purges")
+	}
+}
+
+// TestCacheFillPurgeRace interleaves concurrent fills and purges under
+// the race detector and then checks the invariant the floor exists for:
+// once PurgeGeneration(g) has returned, no entry tagged g (or older) is
+// ever retrievable again, no matter how fills raced it.
+func TestCacheFillPurgeRace(t *testing.T) {
+	const (
+		generations = 8
+		fillers     = 4
+		keysPerGen  = 16
+	)
+	c := NewCache(1024)
+	var wg sync.WaitGroup
+	for f := 0; f < fillers; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			for g := 0; g < generations; g++ {
+				for k := 0; k < keysPerGen; k++ {
+					key := fmt.Sprintf("g%d/f%d/k%d", g, f, k)
+					c.Put(key, g, respBody(key))
+					c.Get(key)
+				}
+			}
+		}(f)
+	}
+	purgedUpTo := generations - 2 // leave the newest generations live
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for g := 0; g <= purgedUpTo; g++ {
+			c.PurgeGeneration(g)
+		}
+	}()
+	wg.Wait()
+	// Quiesced: one final purge pass sweeps entries that were filled
+	// before the purger's floor passed them...
+	for g := 0; g <= purgedUpTo; g++ {
+		c.PurgeGeneration(g)
+	}
+	// ...after which nothing at or below the floor may remain.
+	for g := 0; g <= purgedUpTo; g++ {
+		for f := 0; f < fillers; f++ {
+			for k := 0; k < keysPerGen; k++ {
+				key := fmt.Sprintf("g%d/f%d/k%d", g, f, k)
+				if _, ok := c.Get(key); ok {
+					t.Fatalf("entry %s survived its generation's purge", key)
+				}
+			}
+		}
+	}
+	// Late fills for purged generations stay refused forever.
+	c.Put("late", purgedUpTo, respBody("late"))
+	if _, ok := c.Get("late"); ok {
+		t.Fatal("late fill accepted after quiesce")
 	}
 }
 

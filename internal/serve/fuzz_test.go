@@ -2,11 +2,13 @@ package serve
 
 import (
 	"encoding/json"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
 	"strings"
 	"testing"
+	"time"
 
 	"stateowned/internal/churn"
 )
@@ -106,6 +108,76 @@ func FuzzGenParam(f *testing.F) {
 			if !json.Valid(w.Body.Bytes()) {
 				t.Fatalf("GET %q: invalid JSON body %q", target, w.Body)
 			}
+		}
+	})
+}
+
+// FuzzAdmissionConfig drives the admission-control configuration
+// surface with arbitrary values — negative, zero, huge, overflowing —
+// and proves the contract the flag layer relies on: Normalize always
+// lands in safe bounds and a limiter built from ANY input serves a
+// full admit/shed/release cycle without panicking or deadlocking.
+func FuzzAdmissionConfig(f *testing.F) {
+	f.Add(0, 0, int64(0), int64(0))
+	f.Add(-1, -1, int64(-1), int64(-1))
+	f.Add(1, 0, int64(1), int64(time.Second))
+	f.Add(math.MaxInt, math.MaxInt, int64(math.MaxInt64), int64(math.MaxInt64))
+	f.Add(math.MinInt, math.MinInt, int64(math.MinInt64), int64(math.MinInt64))
+	f.Add(1<<20, 1<<20, int64(time.Hour), int64(time.Hour))
+	f.Add(2, -5, int64(-time.Hour), int64(1))
+
+	f.Fuzz(func(t *testing.T, maxInFlight, maxQueue int, queueWaitNs, retryAfterNs int64) {
+		cfg := AdmissionConfig{
+			MaxInFlight: maxInFlight,
+			MaxQueue:    maxQueue,
+			QueueWait:   time.Duration(queueWaitNs),
+			RetryAfter:  time.Duration(retryAfterNs),
+		}
+		norm := cfg.Normalize()
+		if norm.MaxInFlight < 1 || norm.MaxInFlight > MaxInFlightCap {
+			t.Fatalf("Normalize(%+v).MaxInFlight = %d out of [1, %d]", cfg, norm.MaxInFlight, MaxInFlightCap)
+		}
+		if norm.MaxQueue < 0 || norm.MaxQueue > MaxInFlightCap {
+			t.Fatalf("Normalize(%+v).MaxQueue = %d out of [0, %d]", cfg, norm.MaxQueue, MaxInFlightCap)
+		}
+		if norm.QueueWait < 0 {
+			t.Fatalf("Normalize(%+v).QueueWait = %v negative", cfg, norm.QueueWait)
+		}
+		if norm.QueueWait == 0 && norm.MaxQueue != 0 {
+			t.Fatalf("Normalize(%+v): zero wait with a non-empty queue would park requests forever", cfg)
+		}
+		if norm.RetryAfter <= 0 {
+			t.Fatalf("Normalize(%+v).RetryAfter = %v", cfg, norm.RetryAfter)
+		}
+		// Normalize is not a fixed point (zero doubles as "use the
+		// default", so a normalized no-queue config re-normalizes to the
+		// default queue) — but re-normalizing must stay in bounds.
+		renorm := norm.Normalize()
+		if renorm.MaxInFlight < 1 || renorm.MaxInFlight > MaxInFlightCap ||
+			renorm.MaxQueue < 0 || renorm.MaxQueue > MaxInFlightCap || renorm.QueueWait < 0 {
+			t.Fatalf("re-Normalize(%+v) = %+v left safe bounds", norm, renorm)
+		}
+
+		// A limiter built from the raw config must run a full cycle
+		// without panic or deadlock: the instant timer guarantees queue
+		// waits cannot park, whatever the durations were.
+		l := NewLimiter(cfg, instantFire)
+		if l.RetryAfterSeconds() < 1 {
+			t.Fatalf("RetryAfterSeconds = %d < 1", l.RetryAfterSeconds())
+		}
+		var releases []func()
+		for i := 0; i < 3; i++ {
+			rel, v := l.Acquire(nil)
+			if v == Admitted {
+				releases = append(releases, rel)
+			}
+		}
+		for _, rel := range releases {
+			rel()
+		}
+		st := l.Stats()
+		if st.Admitted+st.ShedQueueFull+st.ShedTimeout+st.ShedCanceled != 3 {
+			t.Fatalf("verdicts do not sum: %+v", st)
 		}
 	})
 }

@@ -40,7 +40,7 @@ func (f *fakeSource) Diff(from, to *View) (*churn.Audit, bool) {
 	return f.audit, true
 }
 
-func (f *fakeSource) Reloading() bool { return f.reloading }
+func (f *fakeSource) ReloadStatus() ReloadStatus { return ReloadStatus{Reloading: f.reloading} }
 
 // gen1Dataset is the fixture dataset one churn step later: ORG-0003
 // privatized away, ORG-0001 lost a sibling — enough divergence that a

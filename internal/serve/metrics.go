@@ -34,6 +34,13 @@ type endpointStats struct {
 	hist       [latencyBuckets]uint64
 	totalUnits int64
 	maxUnits   int64
+	// Containment counters: requests refused by admission control,
+	// requests that overran their deadline, handler panics converted to
+	// 500s. All three also appear in byStatus (503/504/500) — these
+	// separate the overload-policy outcomes from organic errors.
+	shed             uint64
+	deadlineExceeded uint64
+	panics           uint64
 }
 
 // Metrics is the serve-metrics registry: per-endpoint request counts and
@@ -76,12 +83,7 @@ func (m *Metrics) End(endpoint string, status int, start int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.inflight--
-	st := m.endpoints[endpoint]
-	if st == nil {
-		st = &endpointStats{byStatus: map[int]uint64{}}
-		m.endpoints[endpoint] = st
-		m.order = append(m.order, endpoint)
-	}
+	st := m.stat(endpoint)
 	st.requests++
 	st.byStatus[status]++
 	st.hist[bucketOf(elapsed)]++
@@ -89,6 +91,40 @@ func (m *Metrics) End(endpoint string, status int, start int64) {
 	if elapsed > st.maxUnits {
 		st.maxUnits = elapsed
 	}
+}
+
+// stat returns (creating on first use) an endpoint's row; callers hold
+// m.mu.
+func (m *Metrics) stat(endpoint string) *endpointStats {
+	st := m.endpoints[endpoint]
+	if st == nil {
+		st = &endpointStats{byStatus: map[int]uint64{}}
+		m.endpoints[endpoint] = st
+		m.order = append(m.order, endpoint)
+	}
+	return st
+}
+
+// Shed records a request refused by admission control.
+func (m *Metrics) Shed(endpoint string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stat(endpoint).shed++
+}
+
+// DeadlineExceeded records a request that overran its handler budget.
+func (m *Metrics) DeadlineExceeded(endpoint string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stat(endpoint).deadlineExceeded++
+}
+
+// Panicked records a handler panic contained by the per-request panic
+// barrier.
+func (m *Metrics) Panicked(endpoint string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stat(endpoint).panics++
 }
 
 // bucketOf maps a latency to its exponential bucket: bucket i holds
@@ -110,6 +146,10 @@ type EndpointSnapshot struct {
 	MeanUnits float64                `json:"mean_latency_units"`
 	MaxUnits  int64                  `json:"max_latency_units"`
 	Histogram [latencyBuckets]uint64 `json:"latency_histogram"`
+	// Containment outcomes (see endpointStats).
+	Shed             uint64 `json:"shed,omitempty"`
+	DeadlineExceeded uint64 `json:"deadline_exceeded,omitempty"`
+	Panics           uint64 `json:"panics,omitempty"`
 }
 
 // BuildNodeTiming is one pipeline build node's measured wall time as
@@ -128,12 +168,25 @@ type Snapshot struct {
 	Requests  uint64             `json:"requests"`
 	Endpoints []EndpointSnapshot `json:"endpoints"`
 	Cache     CacheStats         `json:"cache"`
+	// Overload-policy totals across endpoints: ShedFraction is
+	// ShedTotal / Requests — the headline "how much load are we
+	// refusing" number the soak tests and dashboards read.
+	ShedTotal             uint64  `json:"shed_total"`
+	ShedFraction          float64 `json:"shed_fraction"`
+	DeadlineExceededTotal uint64  `json:"deadline_exceeded_total"`
+	PanicsTotal           uint64  `json:"panics_total"`
+	// Admission is the limiter's own accounting (absent when admission
+	// control is off).
+	Admission *AdmissionStats `json:"admission,omitempty"`
 	// Generation is the live dataset generation at snapshot time;
-	// Reloading reports whether a rebuild was in flight.
-	Generation   int               `json:"generation"`
-	Reloading    bool              `json:"reloading"`
-	BuildWorkers int               `json:"build_workers,omitempty"`
-	BuildNodes   []BuildNodeTiming `json:"build_nodes,omitempty"`
+	// Reloading reports whether a rebuild was in flight; Degraded (with
+	// DegradedReason) that the reload gate is serving last-known-good.
+	Generation     int               `json:"generation"`
+	Reloading      bool              `json:"reloading"`
+	Degraded       bool              `json:"degraded"`
+	DegradedReason string            `json:"degraded_reason,omitempty"`
+	BuildWorkers   int               `json:"build_workers,omitempty"`
+	BuildNodes     []BuildNodeTiming `json:"build_nodes,omitempty"`
 }
 
 // Snapshot captures the registry (endpoints sorted by name for a stable
@@ -148,11 +201,14 @@ func (m *Metrics) Snapshot() Snapshot {
 	for _, name := range names {
 		st := m.endpoints[name]
 		es := EndpointSnapshot{
-			Endpoint:  name,
-			Requests:  st.requests,
-			ByStatus:  map[string]uint64{},
-			MaxUnits:  st.maxUnits,
-			Histogram: st.hist,
+			Endpoint:         name,
+			Requests:         st.requests,
+			ByStatus:         map[string]uint64{},
+			MaxUnits:         st.maxUnits,
+			Histogram:        st.hist,
+			Shed:             st.shed,
+			DeadlineExceeded: st.deadlineExceeded,
+			Panics:           st.panics,
 		}
 		for code, n := range st.byStatus {
 			es.ByStatus[fmt.Sprintf("%d", code)] = n
@@ -161,7 +217,13 @@ func (m *Metrics) Snapshot() Snapshot {
 			es.MeanUnits = float64(st.totalUnits) / float64(st.requests)
 		}
 		snap.Requests += st.requests
+		snap.ShedTotal += st.shed
+		snap.DeadlineExceededTotal += st.deadlineExceeded
+		snap.PanicsTotal += st.panics
 		snap.Endpoints = append(snap.Endpoints, es)
+	}
+	if snap.Requests > 0 {
+		snap.ShedFraction = float64(snap.ShedTotal) / float64(snap.Requests)
 	}
 	return snap
 }

@@ -32,7 +32,60 @@ type Options struct {
 	Clock Clock
 	// SearchLimit caps /v1/search results (<= 0 = 10).
 	SearchLimit int
+
+	// Admission enables load shedding on the /v1 endpoints: a bounded
+	// in-flight limiter with a short deadline-aware wait queue; excess
+	// load gets 503 + Retry-After instead of collapsing the process.
+	// Nil disables admission control (every request is admitted). The
+	// operational endpoints (/healthz, /readyz, /metrics) are never
+	// limited — they must answer precisely when the server is drowning.
+	Admission *AdmissionConfig
+	// RequestTimeout is the per-request handler budget on the /v1
+	// endpoints (0 = no deadlines). The expensive endpoints — /v1/diff
+	// (a full churn audit) and /v1/search (token-set scoring) — run at
+	// half budget: under pressure the costly work is the first to be
+	// cut. An exceeded budget cancels the handler's context
+	// (partial-work cancellation) and answers 504.
+	RequestTimeout time.Duration
+	// After is the timer the admission queue and request deadlines wait
+	// on (nil = time.After). Tests inject a hand-fired channel so
+	// overload runs are deterministic and near-instant.
+	After After
+
+	// DrainTimeout bounds the graceful drain in Serve: on shutdown the
+	// listener closes immediately and in-flight requests get this long
+	// to finish (0 = DefaultDrainTimeout).
+	DrainTimeout time.Duration
+	// ReadHeaderTimeout, WriteTimeout and IdleTimeout are applied to the
+	// http.Server in Serve (0 selects the package defaults); unset
+	// they'd let one slowloris client pin a connection forever.
+	ReadHeaderTimeout time.Duration
+	WriteTimeout      time.Duration
+	IdleTimeout       time.Duration
 }
+
+// Connection-lifecycle defaults for Serve's http.Server. These bound
+// the damage one misbehaving client can do to a connection: a client
+// that trickles header bytes (slowloris) is cut off at
+// DefaultReadHeaderTimeout, a stalled reader at DefaultWriteTimeout,
+// an idle keep-alive at DefaultIdleTimeout.
+const (
+	// DefaultRequestTimeout is cmd/serve's default per-request handler
+	// budget (the Options.RequestTimeout zero value still means "no
+	// deadlines" for library users constructing a Server directly).
+	DefaultRequestTimeout = 2 * time.Second
+	// DefaultDrainTimeout bounds the graceful in-flight drain on
+	// shutdown.
+	DefaultDrainTimeout = 5 * time.Second
+	// DefaultReadHeaderTimeout bounds how long a client may take to
+	// send the request headers.
+	DefaultReadHeaderTimeout = 10 * time.Second
+	// DefaultWriteTimeout bounds the whole request+response exchange;
+	// it comfortably exceeds any queue wait plus handler budget.
+	DefaultWriteTimeout = 30 * time.Second
+	// DefaultIdleTimeout bounds idle keep-alive connections.
+	DefaultIdleTimeout = 120 * time.Second
+)
 
 // GenerationHeader is the response header naming the generation a /v1
 // answer was served from. The hot-reload soak test keys its
@@ -42,16 +95,34 @@ const GenerationHeader = "X-Generation"
 
 // Server serves a generational dataset Source over HTTP. All state
 // reached by handlers is either immutable once published (Views and
-// their Indexes) or internally synchronized (source, cache, metrics),
-// so the server is safe under arbitrary request concurrency — including
-// concurrent generation swaps: a request resolves its View once and
-// answers entirely from it.
+// their Indexes) or internally synchronized (source, cache, metrics,
+// limiter), so the server is safe under arbitrary request concurrency —
+// including concurrent generation swaps: a request resolves its View
+// once and answers entirely from it.
+//
+// Every request flows through the containment spine (dispatch):
+// admission control (503 + Retry-After under overload), a per-endpoint
+// deadline (504 with context cancellation), and per-request panic
+// isolation (500 + panics_total instead of a dead process). Handlers
+// therefore never touch the ResponseWriter — they return a materialized
+// response, and only the spine writes, so a late handler can never race
+// a timeout answer on the wire.
 type Server struct {
 	src     Source
 	cache   *Cache
 	metrics *Metrics
 	mux     *http.ServeMux
 	limit   int
+
+	limiter *Limiter
+	after   After
+	// budgets maps endpoint name to its handler deadline (0 = none).
+	budgets map[string]time.Duration
+
+	drainTimeout      time.Duration
+	readHeaderTimeout time.Duration
+	writeTimeout      time.Duration
+	idleTimeout       time.Duration
 }
 
 // New assembles a Server over a single compiled Index: a static,
@@ -71,25 +142,51 @@ func New(idx *Index, opts Options) *Server {
 // from its immutable index.
 func NewDynamic(src Source, opts Options) *Server {
 	s := &Server{
-		src:     src,
-		cache:   NewCache(opts.CacheSize),
-		metrics: NewMetrics(opts.Clock),
-		mux:     http.NewServeMux(),
-		limit:   opts.SearchLimit,
+		src:               src,
+		cache:             NewCache(opts.CacheSize),
+		metrics:           NewMetrics(opts.Clock),
+		mux:               http.NewServeMux(),
+		limit:             opts.SearchLimit,
+		after:             opts.After,
+		drainTimeout:      opts.DrainTimeout,
+		readHeaderTimeout: opts.ReadHeaderTimeout,
+		writeTimeout:      opts.WriteTimeout,
+		idleTimeout:       opts.IdleTimeout,
 	}
 	if s.limit <= 0 {
 		s.limit = 10
 	}
-	s.mux.HandleFunc("GET /v1/asn/{asn}", s.cached("/v1/asn", s.handleASN))
-	s.mux.HandleFunc("GET /v1/country/{cc}", s.cached("/v1/country", s.handleCountry))
-	s.mux.HandleFunc("GET /v1/org/{id}", s.cached("/v1/org", s.handleOrg))
-	s.mux.HandleFunc("GET /v1/search", s.cached("/v1/search", s.handleSearch))
-	s.mux.HandleFunc("GET /v1/dataset", s.cached("/v1/dataset", s.handleDataset))
-	s.mux.HandleFunc("GET /v1/diff", s.instrumented("/v1/diff", s.handleDiff))
-	s.mux.HandleFunc("GET /healthz", s.instrumented("/healthz", s.handleHealthz))
-	s.mux.HandleFunc("GET /readyz", s.instrumented("/readyz", s.handleReadyz))
-	s.mux.HandleFunc("GET /metrics", s.instrumented("/metrics", s.handleMetrics))
-	s.mux.HandleFunc("/", s.instrumented("other", func(*http.Request) response {
+	if s.after == nil {
+		s.after = time.After
+	}
+	if opts.Admission != nil {
+		s.limiter = NewLimiter(*opts.Admission, s.after)
+	}
+	// Per-endpoint deadlines: the expensive endpoints get half the
+	// budget — under pressure, cut the costly work first.
+	s.budgets = map[string]time.Duration{}
+	if b := opts.RequestTimeout; b > 0 {
+		tight := b / 2
+		for _, e := range []string{"/v1/asn", "/v1/country", "/v1/org", "/v1/dataset", "other"} {
+			s.budgets[e] = b
+		}
+		for _, e := range []string{"/v1/search", "/v1/diff"} {
+			s.budgets[e] = tight
+		}
+	}
+	// The /v1 data plane runs load-controlled (admission + deadlines);
+	// the operational plane does not — /healthz, /readyz and /metrics
+	// must answer precisely when the server is shedding.
+	s.mux.HandleFunc("GET /v1/asn/{asn}", s.handle("/v1/asn", true, s.viewHandler("/v1/asn", s.handleASN)))
+	s.mux.HandleFunc("GET /v1/country/{cc}", s.handle("/v1/country", true, s.viewHandler("/v1/country", s.handleCountry)))
+	s.mux.HandleFunc("GET /v1/org/{id}", s.handle("/v1/org", true, s.viewHandler("/v1/org", s.handleOrg)))
+	s.mux.HandleFunc("GET /v1/search", s.handle("/v1/search", true, s.viewHandler("/v1/search", s.handleSearch)))
+	s.mux.HandleFunc("GET /v1/dataset", s.handle("/v1/dataset", true, s.viewHandler("/v1/dataset", s.handleDataset)))
+	s.mux.HandleFunc("GET /v1/diff", s.handle("/v1/diff", true, s.handleDiff))
+	s.mux.HandleFunc("GET /healthz", s.handle("/healthz", false, s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.handle("/readyz", false, s.handleReadyz))
+	s.mux.HandleFunc("GET /metrics", s.handle("/metrics", false, s.handleMetrics))
+	s.mux.HandleFunc("/", s.handle("other", true, func(*http.Request) response {
 		return errResponse(http.StatusNotFound, "unknown endpoint")
 	}))
 	return s
@@ -104,6 +201,10 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // CacheStats exposes the response-cache accounting.
 func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
 
+// AdmissionStats exposes the limiter accounting (zeroes when admission
+// control is off).
+func (s *Server) AdmissionStats() AdmissionStats { return s.limiter.Stats() }
+
 // InvalidateGeneration purges every cached response that was answered
 // from the given generation. The snapshot store calls this when a
 // generation leaves the retention ring: entries of still-retained
@@ -115,10 +216,23 @@ func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
 func (s *Server) InvalidateGeneration(gen int) { s.cache.PurgeGeneration(gen) }
 
 // Serve accepts connections on ln until ctx is canceled, then shuts the
-// server down gracefully (in-flight requests get drainTimeout to
-// finish). It returns nil on a clean context-driven shutdown.
+// server down gracefully: the listener stops accepting immediately and
+// in-flight requests get the drain timeout to finish. It returns nil on
+// a clean context-driven shutdown (including one where the drain
+// deadline expired and stragglers were cut off — that is the contract,
+// not an error). The http.Server runs with read-header, write and idle
+// timeouts so a slowloris client cannot pin a connection forever.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
-	hs := &http.Server{Handler: s}
+	drain := s.drainTimeout
+	if drain <= 0 {
+		drain = DefaultDrainTimeout
+	}
+	hs := &http.Server{
+		Handler:           s,
+		ReadHeaderTimeout: orDefault(s.readHeaderTimeout, DefaultReadHeaderTimeout),
+		WriteTimeout:      orDefault(s.writeTimeout, DefaultWriteTimeout),
+		IdleTimeout:       orDefault(s.idleTimeout, DefaultIdleTimeout),
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	select {
@@ -126,14 +240,23 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		return err
 	case <-ctx.Done():
 	}
-	const drainTimeout = 5 * time.Second
-	sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil {
-		return err
+		// The drain deadline expired: force-close the stragglers. Still
+		// a clean shutdown from the operator's point of view.
+		hs.Close()
 	}
-	<-errc // always http.ErrServerClosed after Shutdown
+	<-errc // always http.ErrServerClosed after Shutdown/Close
 	return nil
+}
+
+// orDefault substitutes def for an unset duration.
+func orDefault(d, def time.Duration) time.Duration {
+	if d <= 0 {
+		return def
+	}
+	return d
 }
 
 // response is a handler's materialized result, ready to write or cache.
@@ -141,6 +264,11 @@ type response struct {
 	status      int
 	contentType string
 	body        []byte
+	// genHeader, when non-empty, emits the X-Generation header.
+	genHeader string
+	// retryAfterSec, when > 0, emits a Retry-After header (shed
+	// responses).
+	retryAfterSec int
 }
 
 // jsonResponse marshals v as an indented JSON response.
@@ -194,44 +322,107 @@ func (s *Server) lookupGen(raw, param string) (*View, response) {
 	}
 }
 
-// instrumented wraps a handler with metrics accounting only (the
-// health/metrics/diff endpoints must never serve cached state).
-func (s *Server) instrumented(endpoint string, fn func(*http.Request) response) http.HandlerFunc {
+// handle is the containment spine every route runs through: metrics
+// accounting around a dispatch that applies (for load-controlled
+// endpoints) admission control and the endpoint's deadline, and (for
+// every endpoint) per-request panic isolation. The spine is the only
+// code that touches the ResponseWriter, so an abandoned handler — one
+// that outlived its deadline — can never race the 504 on the wire.
+func (s *Server) handle(endpoint string, loadControlled bool, fn func(*http.Request) response) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := s.metrics.Begin()
-		resp := fn(r)
+		resp := s.dispatch(endpoint, loadControlled, fn, r)
 		s.write(w, resp)
 		s.metrics.End(endpoint, resp.status, start)
 	}
 }
 
-// cached wraps a /v1 handler with generation resolution, metrics, and
-// the LRU response cache. Every /v1 response is a pure function of the
+// dispatch applies the overload policy to one request. The decision
+// ladder: (1) admission — no free slot and no queue room, or the queue
+// wait expires → 503 + Retry-After, the request never runs; (2)
+// deadline — the handler runs but overshoots its endpoint budget → its
+// context is canceled (partial-work cancellation) and the answer is
+// 504; (3) the handler's materialized response. An admitted slot is
+// held until the handler actually finishes — even past its deadline —
+// so abandoned-but-running work still counts against MaxInFlight and a
+// flood of timeouts cannot stack unbounded concurrency.
+func (s *Server) dispatch(endpoint string, loadControlled bool, fn func(*http.Request) response, r *http.Request) response {
+	release := func() {}
+	if loadControlled && s.limiter != nil {
+		rel, verdict := s.limiter.Acquire(r.Context().Done())
+		if verdict != Admitted {
+			s.metrics.Shed(endpoint)
+			resp := errResponse(http.StatusServiceUnavailable, "overloaded: admission queue full or wait expired; retry later")
+			resp.retryAfterSec = s.limiter.RetryAfterSeconds()
+			return resp
+		}
+		release = rel
+	}
+	budget := s.budgets[endpoint]
+	if budget <= 0 {
+		defer release()
+		return s.invoke(endpoint, fn, r)
+	}
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	done := make(chan response, 1)
+	go func() {
+		defer release() // the slot is freed when the work truly ends
+		done <- s.invoke(endpoint, fn, r.WithContext(ctx))
+	}()
+	select {
+	case resp := <-done:
+		return resp
+	case <-s.after(budget):
+		cancel() // stop context-aware partial work
+		s.metrics.DeadlineExceeded(endpoint)
+		return errResponse(http.StatusGatewayTimeout,
+			fmt.Sprintf("request exceeded its %s budget", budget))
+	}
+}
+
+// invoke runs one handler behind the panic barrier: a panicking handler
+// becomes a 500 and a panics_total tick instead of a dead process. The
+// recover lives here — inside whatever goroutine runs the handler —
+// because a deferred recover in the caller cannot catch a panic on the
+// deadline path's worker goroutine.
+func (s *Server) invoke(endpoint string, fn func(*http.Request) response, r *http.Request) (resp response) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.metrics.Panicked(endpoint)
+			resp = errResponse(http.StatusInternalServerError, "internal error (handler panic contained)")
+		}
+	}()
+	return fn(r)
+}
+
+// viewHandler wraps a /v1 handler with generation resolution and the
+// LRU response cache. Every /v1 response is a pure function of the
 // (generation, canonicalized request) pair — each generation's Index is
 // immutable — so hits and misses alike are cacheable, including
 // deterministic errors like a 400 for a malformed ASN. The generation
 // lands in the cache key (a swap can therefore never replay a stale
 // generation's answer) and tags the entry so eviction can purge it.
-func (s *Server) cached(endpoint string, fn func(*View, *http.Request) response) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		start := s.metrics.Begin()
+// Responses produced after the request's context was canceled (a
+// deadline 504, or partial work cut off mid-handler) are never cached:
+// they are functions of timing, not of the (generation, request) pair.
+func (s *Server) viewHandler(endpoint string, fn func(*View, *http.Request) response) func(*http.Request) response {
+	return func(r *http.Request) response {
 		view, errResp := s.resolveView(r)
 		if view == nil {
-			s.write(w, errResp)
-			s.metrics.End(endpoint, errResp.status, start)
-			return
+			return errResp
 		}
-		w.Header().Set(GenerationHeader, strconv.Itoa(view.Gen))
-		key := "g" + strconv.Itoa(view.Gen) + "\x00" + endpoint + "\x00" + canonicalKey(r)
+		gen := strconv.Itoa(view.Gen)
+		key := "g" + gen + "\x00" + endpoint + "\x00" + canonicalKey(r)
 		if hit, ok := s.cache.Get(key); ok {
-			s.write(w, response{status: hit.Status, contentType: hit.ContentType, body: hit.Body})
-			s.metrics.End(endpoint, hit.Status, start)
-			return
+			return response{status: hit.Status, contentType: hit.ContentType, body: hit.Body, genHeader: gen}
 		}
 		resp := fn(view, r)
-		s.cache.Put(key, view.Gen, CachedResponse{Status: resp.status, ContentType: resp.contentType, Body: resp.body})
-		s.write(w, resp)
-		s.metrics.End(endpoint, resp.status, start)
+		if r.Context().Err() == nil {
+			s.cache.Put(key, view.Gen, CachedResponse{Status: resp.status, ContentType: resp.contentType, Body: resp.body})
+		}
+		resp.genHeader = gen
+		return resp
 	}
 }
 
@@ -262,6 +453,12 @@ func canonicalKey(r *http.Request) string {
 
 func (s *Server) write(w http.ResponseWriter, resp response) {
 	w.Header().Set("Content-Type", resp.contentType)
+	if resp.genHeader != "" {
+		w.Header().Set(GenerationHeader, resp.genHeader)
+	}
+	if resp.retryAfterSec > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(resp.retryAfterSec))
+	}
 	w.WriteHeader(resp.status)
 	_, _ = w.Write(resp.body)
 }
@@ -420,6 +617,11 @@ func (s *Server) handleDiff(r *http.Request) response {
 	if to == nil {
 		return errResp
 	}
+	// The audit is the expensive part; if the deadline middleware already
+	// canceled this request, skip it — the answer would be discarded.
+	if r.Context().Err() != nil {
+		return errResponse(http.StatusGatewayTimeout, "request canceled before the audit ran")
+	}
 	audit, ok := s.src.Diff(from, to)
 	if !ok {
 		return errResponse(http.StatusNotFound, "diff unavailable: this server's source keeps no ground truth")
@@ -455,27 +657,41 @@ type StageStatus struct {
 // (degraded-but-present sources still serve, they are just listed).
 // During a hot reload the old generation keeps serving, so readiness
 // stays green — Reloading only reports that a rebuild is in flight.
+// Degraded (with DegradedReason) means the validation gate quarantined
+// the newest rebuild(s) and the server is answering from its
+// last-known-good generation: still ready (200), but the dataset has
+// stopped advancing and an operator should look.
 type ReadyResponse struct {
-	Ready          bool           `json:"ready"`
-	Generation     int            `json:"generation"`
-	Reloading      bool           `json:"reloading"`
+	Ready      bool `json:"ready"`
+	Generation int  `json:"generation"`
+	Reloading  bool `json:"reloading"`
+	// Degraded state of the reload gate (see ReloadStatus).
+	Degraded       bool           `json:"degraded"`
+	DegradedReason string         `json:"degraded_reason,omitempty"`
+	ReloadFailures int            `json:"reload_failures,omitempty"`
+	ReloadGaveUp   bool           `json:"reload_gave_up,omitempty"`
 	ChaosSeverity  float64        `json:"chaos_severity"`
 	Sources        []SourceStatus `json:"sources,omitempty"`
-	Degraded       []string       `json:"degraded_sources,omitempty"`
+	DegradedSrc    []string       `json:"degraded_sources,omitempty"`
 	Unavailable    []string       `json:"unavailable_sources,omitempty"`
 	DegradedStages []StageStatus  `json:"degraded_stages,omitempty"`
 }
 
 func (s *Server) handleReadyz(*http.Request) response {
 	v := s.src.Current()
-	body := ReadyResponse{Generation: v.Gen, Reloading: s.src.Reloading()}
+	rs := s.src.ReloadStatus()
+	body := ReadyResponse{
+		Generation: v.Gen, Reloading: rs.Reloading,
+		Degraded: rs.Degraded, DegradedReason: rs.Reason,
+		ReloadFailures: rs.ConsecutiveFailures, ReloadGaveUp: rs.GaveUp,
+	}
 	if v.Health == nil {
 		body.Ready = true
 		return jsonResponse(http.StatusOK, body)
 	}
 	h := v.Health
 	body.ChaosSeverity = h.Severity
-	body.Degraded = h.DegradedSources()
+	body.DegradedSrc = h.DegradedSources()
 	body.Unavailable = h.UnavailableSources()
 	for _, sh := range h.Sources() {
 		body.Sources = append(body.Sources, SourceStatus{
@@ -497,10 +713,17 @@ func (s *Server) handleReadyz(*http.Request) response {
 
 func (s *Server) handleMetrics(*http.Request) response {
 	v := s.src.Current()
+	rs := s.src.ReloadStatus()
 	snap := s.metrics.Snapshot()
 	snap.Cache = s.cache.Stats()
+	if s.limiter != nil {
+		st := s.limiter.Stats()
+		snap.Admission = &st
+	}
 	snap.Generation = v.Gen
-	snap.Reloading = s.src.Reloading()
+	snap.Reloading = rs.Reloading
+	snap.Degraded = rs.Degraded
+	snap.DegradedReason = rs.Reason
 	if h := v.Health; h != nil {
 		snap.BuildWorkers = h.Workers
 		for _, nt := range h.Timings {

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"stateowned/internal/expand"
@@ -15,12 +16,12 @@ import (
 )
 
 // testClock is a deterministic virtual-unit clock: each reading advances
-// by step units.
+// by step units. Safe for concurrent readers (the soak tests hammer it
+// from many request goroutines).
 func testClock(step int64) Clock {
-	var now int64
+	var now atomic.Int64
 	return func() int64 {
-		now += step
-		return now
+		return now.Add(step)
 	}
 }
 
@@ -174,7 +175,7 @@ func TestHealthzAndReadyz(t *testing.T) {
 		t.Fatalf("degraded readyz: %d", w.Code)
 	}
 	ready := decode[ReadyResponse](t, w)
-	if !ready.Ready || len(ready.Degraded) != 1 || ready.Degraded[0] != "geo" {
+	if !ready.Ready || len(ready.DegradedSrc) != 1 || ready.DegradedSrc[0] != "geo" {
 		t.Fatalf("degraded readyz resp = %+v", ready)
 	}
 	if ready.Sources[0].Quarantined != 7 {

@@ -59,6 +59,26 @@ type View struct {
 	Provenance Provenance
 }
 
+// ReloadStatus is a source's rebuild-state report, surfaced verbatim
+// on /readyz and /metrics. Degraded means the last rebuild (or several)
+// was quarantined by the validation gate and the source is serving its
+// last-known-good generation — the server stays ready (it is still
+// answering) but operators can see why the dataset stopped advancing.
+type ReloadStatus struct {
+	// Reloading reports whether a rebuild is in flight. The old
+	// generation keeps serving (and /readyz stays green) while it runs.
+	Reloading bool `json:"reloading"`
+	// Degraded reports that the newest rebuild failed validation (or
+	// panicked) and was quarantined; Reason says why.
+	Degraded bool   `json:"degraded"`
+	Reason   string `json:"degraded_reason,omitempty"`
+	// ConsecutiveFailures counts quarantined rebuilds since the last
+	// successful swap; GaveUp means the reload loop exhausted its
+	// failure budget and stopped retrying.
+	ConsecutiveFailures int  `json:"consecutive_failures,omitempty"`
+	GaveUp              bool `json:"gave_up,omitempty"`
+}
+
 // Source supplies the server's generations. Implementations must be
 // safe for arbitrary request concurrency: Current runs on every request
 // and must be cheap, and the generation it returns must switch
@@ -75,9 +95,10 @@ type Source interface {
 	// when the source keeps no ground truth to audit against (static
 	// sources).
 	Diff(from, to *View) (*churn.Audit, bool)
-	// Reloading reports whether a rebuild is in flight. The old
-	// generation keeps serving (and /readyz stays green) while it runs.
-	Reloading() bool
+	// ReloadStatus reports the rebuild state: in-flight, and whether
+	// the source is degraded to last-known-good after quarantined
+	// rebuilds.
+	ReloadStatus() ReloadStatus
 }
 
 // staticSource adapts a single immutable Index — the build-once/serve-
@@ -99,5 +120,6 @@ func (s *staticSource) Generation(n int) (*View, GenStatus) {
 // Diff is unavailable: a static source retains no ground-truth worlds.
 func (s *staticSource) Diff(from, to *View) (*churn.Audit, bool) { return nil, false }
 
-// Reloading is always false: static sources never rebuild.
-func (s *staticSource) Reloading() bool { return false }
+// ReloadStatus is always the zero report: static sources never rebuild
+// and can never degrade.
+func (s *staticSource) ReloadStatus() ReloadStatus { return ReloadStatus{} }

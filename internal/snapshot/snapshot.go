@@ -32,6 +32,7 @@ import (
 	"stateowned"
 	"stateowned/internal/churn"
 	"stateowned/internal/rng"
+	"stateowned/internal/runner"
 	"stateowned/internal/serve"
 	"stateowned/internal/world"
 )
@@ -39,6 +40,76 @@ import (
 // DefaultRetain is the retention-ring size when Options.Retain is 0:
 // the live generation plus three predecessors stay pinnable.
 const DefaultRetain = 4
+
+// DefaultMaxChurnFraction is the validation gate's churn bound when a
+// Validation policy is not supplied: a rebuild that replaces more than
+// this fraction of the previous generation's state-owned ASN set is
+// quarantined — state ownership moves on the timescale of
+// privatizations, not of one reload, so a swing that large is far more
+// likely a broken build than a real event.
+const DefaultMaxChurnFraction = 0.75
+
+// Validation is the reload gate's policy: every freshly built
+// generation must pass it before the atomic swap, and a failing (or
+// panicking) rebuild is quarantined while the store keeps serving the
+// last validated generation. Two invariants are always enforced and not
+// configurable — the dataset must be non-empty, and the build's
+// pipeline Health must be Ready (no source unavailable).
+type Validation struct {
+	// MaxChurnFraction bounds dataset churn between consecutive
+	// generations, measured as |added ∪ removed state-owned ASNs| /
+	// max(1, |previous set|). 0 rejects any change at all (useful as an
+	// operational lever to force the degraded path in smoke tests);
+	// values >= 1 effectively disable the bound. Must be >= 0.
+	MaxChurnFraction float64
+	// MaxFailures is how many consecutive quarantined rebuilds Reload
+	// tolerates before giving up (serving last-known-good forever and
+	// reporting GaveUp). 0 = retry forever.
+	MaxFailures int
+	// Backoff paces rebuild retries after a quarantine: the n-th
+	// consecutive failure waits Backoff.Delay(n) * BackoffUnit before
+	// the next attempt (capped exponential, reusing the pipeline
+	// runner's arithmetic). Zero value = DefaultReloadBackoff.
+	Backoff runner.Backoff
+	// BackoffUnit converts backoff units to wall time (0 = 1s).
+	BackoffUnit time.Duration
+}
+
+// DefaultReloadBackoff is the retry pacing for quarantined rebuilds:
+// delays 1, 2, 4, 8, ... units capped at 60 (one minute at the default
+// unit). MaxAttempts is unused here — the retry budget is
+// Validation.MaxFailures.
+func DefaultReloadBackoff() runner.Backoff {
+	return runner.Backoff{MaxAttempts: 1, BaseUnits: 1, MaxUnits: 60}
+}
+
+// DefaultValidation is the gate policy used when Options.Validation is
+// nil.
+func DefaultValidation() Validation {
+	return Validation{
+		MaxChurnFraction: DefaultMaxChurnFraction,
+		Backoff:          DefaultReloadBackoff(),
+		BackoffUnit:      time.Second,
+	}
+}
+
+// normalize fills a Validation's zero-valued pacing fields and clamps
+// nonsense (negative churn bounds or failure budgets) into range.
+func (v Validation) normalize() Validation {
+	if v.MaxChurnFraction < 0 {
+		v.MaxChurnFraction = 0
+	}
+	if v.MaxFailures < 0 {
+		v.MaxFailures = 0
+	}
+	if v.Backoff == (runner.Backoff{}) {
+		v.Backoff = DefaultReloadBackoff()
+	}
+	if v.BackoffUnit <= 0 {
+		v.BackoffUnit = time.Second
+	}
+	return v
+}
 
 // Options configures a Store.
 type Options struct {
@@ -59,6 +130,16 @@ type Options struct {
 	// the live one) stay resident and pinnable. 0 = DefaultRetain;
 	// minimum 1.
 	Retain int
+	// Validation is the reload gate policy (nil = DefaultValidation).
+	// Generation 0 is exempt: with no last-known-good to fall back to,
+	// a broken initial build is a startup failure the operator must
+	// see, not something to quarantine.
+	Validation *Validation
+	// After is the timer Reload paces itself with — the reload cadence
+	// and the post-quarantine backoff both wait on the channel it
+	// returns (nil = time.After). Tests inject a hand-fired channel so
+	// retry schedules are deterministic.
+	After func(d time.Duration) <-chan time.Time
 }
 
 // Generation is one fully built dataset generation: the churn-evolved
@@ -93,6 +174,8 @@ func (g *Generation) View() *serve.View { return &g.view }
 // on a rebuild and never observe a partially built generation.
 type Store struct {
 	opts      Options
+	val       Validation
+	after     func(d time.Duration) <-chan time.Time
 	churnBase *rng.Stream
 
 	// current is the live generation, swapped atomically at publish.
@@ -100,14 +183,45 @@ type Store struct {
 	// reloading is true while a rebuild is in flight.
 	reloading atomic.Bool
 	swaps     atomic.Uint64
+	// quarantines counts rebuilds the validation gate refused to
+	// publish (cumulative, across recoveries).
+	quarantines atomic.Uint64
+	// degraded, when non-nil, is the reload gate's failure state: the
+	// store is serving last-known-good. Cleared by the next successful
+	// swap.
+	degraded atomic.Pointer[Degradation]
 
 	// buildMu serializes builders (Advance is safe to call concurrently,
-	// advances just queue); mu guards the retention ring.
-	buildMu sync.Mutex
-	mu      sync.RWMutex
-	ring    []*Generation
+	// advances just queue) and guards failures; mu guards the retention
+	// ring.
+	buildMu  sync.Mutex
+	failures int // consecutive quarantined rebuilds
+	mu       sync.RWMutex
+	ring     []*Generation
 
 	onEvict func(gen int)
+
+	// buildHook, when non-nil, runs at the start of every generation
+	// build — a test seam for injecting failing or panicking rebuilds
+	// into the gate (mirrors the pipeline's node-level hook).
+	buildHook func(gen int)
+}
+
+// Degradation is the reload gate's published failure state: why the
+// newest rebuild(s) were quarantined and how long this has been going
+// on. The store keeps serving its last validated generation the whole
+// time.
+type Degradation struct {
+	// Reason is the validation (or panic) error of the latest
+	// quarantined rebuild.
+	Reason string
+	// FailedGen is the generation number that refused to build.
+	FailedGen int
+	// Failures counts consecutive quarantined rebuilds.
+	Failures int
+	// GaveUp reports that Reload exhausted Validation.MaxFailures and
+	// stopped retrying.
+	GaveUp bool
 }
 
 // New creates a Store and synchronously builds generation 0 (the
@@ -133,9 +247,30 @@ func New(opts Options) *Store {
 		seed = rng.New(opts.Base.Seed).Sub("churn-schedule").Uint64()
 	}
 	opts.ChurnSeed = seed
-	s := &Store{opts: opts, churnBase: rng.New(seed)}
+	val := DefaultValidation()
+	if opts.Validation != nil {
+		val = *opts.Validation
+	}
+	after := opts.After
+	if after == nil {
+		after = time.After
+	}
+	s := &Store{opts: opts, val: val.normalize(), after: after, churnBase: rng.New(seed)}
 	s.publish(s.build(0))
 	return s
+}
+
+// SetBuildHook installs a hook run at the start of every generation
+// build (nil uninstalls) and returns the previous hook. Test seam: a
+// hook that panics exercises the gate's quarantine path exactly as a
+// crashing pipeline stage would. Install before handing the store to
+// concurrent builders.
+func (s *Store) SetBuildHook(fn func(gen int)) func(gen int) {
+	s.buildMu.Lock()
+	defer s.buildMu.Unlock()
+	prev := s.buildHook
+	s.buildHook = fn
+	return prev
 }
 
 // churnSeed derives the seed for the Evolve step leading into
@@ -151,6 +286,9 @@ func (s *Store) churnSeed(g int) uint64 {
 // retained generation frozen and makes the content reproducible from
 // the generation number alone.
 func (s *Store) build(gen int) *Generation {
+	if s.buildHook != nil {
+		s.buildHook(gen)
+	}
 	cfg := s.opts.Base
 	w := world.Generate(world.Config{Seed: cfg.Seed, Scale: cfg.Scale, Countries: cfg.Countries})
 	var events []churn.Event
@@ -214,36 +352,163 @@ func (s *Store) OnEvict(fn func(gen int)) {
 	s.mu.Unlock()
 }
 
-// Advance builds and publishes the next generation, blocking until the
-// swap. Requests keep being served from the old generation for the
-// whole build; the cutover itself is one atomic store.
-func (s *Store) Advance() *Generation {
+// TryAdvance builds the next generation, runs it through the
+// validation gate, and publishes it only if the gate passes. On
+// failure (validation rejection or a panicking build) the candidate is
+// quarantined — never published, eligible for GC — the store keeps
+// serving its last validated generation, and the degraded state is
+// raised with the failure reason. Blocking until the swap or the
+// quarantine decision; safe for concurrent callers (builds serialize).
+func (s *Store) TryAdvance() (*Generation, error) {
 	s.buildMu.Lock()
 	defer s.buildMu.Unlock()
 	s.reloading.Store(true)
 	defer s.reloading.Store(false)
-	g := s.build(s.current.Load().Gen + 1)
+	prev := s.current.Load()
+	gen := prev.Gen + 1
+	g, err := s.buildChecked(gen)
+	if err == nil {
+		err = s.validate(prev, g)
+	}
+	if err != nil {
+		s.quarantines.Add(1)
+		s.failures++
+		s.degraded.Store(&Degradation{
+			Reason:    err.Error(),
+			FailedGen: gen,
+			Failures:  s.failures,
+		})
+		return nil, fmt.Errorf("generation %d quarantined: %w", gen, err)
+	}
+	s.failures = 0
+	s.degraded.Store(nil)
 	s.publish(g)
+	return g, nil
+}
+
+// Advance builds and publishes the next generation, blocking until the
+// swap. Requests keep being served from the old generation for the
+// whole build; the cutover itself is one atomic store. A rebuild the
+// validation gate quarantines returns nil — the store is then serving
+// last-known-good and Degraded() says why.
+func (s *Store) Advance() *Generation {
+	g, _ := s.TryAdvance()
 	return g
 }
 
+// buildChecked runs build with a panic barrier: a crashing rebuild
+// (broken source, corrupt stage — injected in tests via the build
+// hook) becomes a quarantinable error instead of taking down the
+// serving process.
+func (s *Store) buildChecked(gen int) (g *Generation, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			g, err = nil, fmt.Errorf("rebuild panicked: %v", p)
+		}
+	}()
+	return s.build(gen), nil
+}
+
+// validate is the reload gate: the invariants a candidate generation
+// must satisfy before it may replace the live one. Ordered cheapest
+// first; the first violation wins.
+func (s *Store) validate(prev, g *Generation) error {
+	if g.Index.NumOrgs() == 0 || g.Index.NumASNs() == 0 {
+		return fmt.Errorf("empty dataset (%d orgs, %d ASNs)", g.Index.NumOrgs(), g.Index.NumASNs())
+	}
+	if g.Result.Health != nil && !g.Result.Health.Ready() {
+		return fmt.Errorf("pipeline not ready: sources unavailable %v", g.Result.Health.UnavailableSources())
+	}
+	if frac := churnFraction(prev, g); frac > s.val.MaxChurnFraction {
+		return fmt.Errorf("churn %.3f exceeds bound %.3f (suspect rebuild)", frac, s.val.MaxChurnFraction)
+	}
+	return nil
+}
+
+// churnFraction measures how much of the previous generation's
+// state-owned ASN set the candidate replaced: |symmetric difference| /
+// max(1, |previous set|).
+func churnFraction(prev, g *Generation) float64 {
+	old := map[world.ASN]struct{}{}
+	for _, a := range prev.Result.Dataset.AllASNs() {
+		old[a] = struct{}{}
+	}
+	diff := 0
+	seen := map[world.ASN]struct{}{}
+	for _, a := range g.Result.Dataset.AllASNs() {
+		seen[a] = struct{}{}
+		if _, ok := old[a]; !ok {
+			diff++ // added
+		}
+	}
+	for a := range old {
+		if _, ok := seen[a]; !ok {
+			diff++ // removed
+		}
+	}
+	denom := len(old)
+	if denom == 0 {
+		denom = 1
+	}
+	return float64(diff) / float64(denom)
+}
+
 // Reload advances generations on a fixed cadence until ctx is
-// canceled. logf (nil = silent) receives one line per swap.
+// canceled, containing rebuild failures: a quarantined generation is
+// retried under capped exponential backoff (Validation.Backoff) while
+// the store keeps serving last-known-good, and after
+// Validation.MaxFailures consecutive quarantines (0 = never) the loop
+// parks — serving the last good generation forever with GaveUp raised
+// — rather than burning CPU on a rebuild that will not heal. logf
+// (nil = silent) receives one line per swap and per quarantine.
 func (s *Store) Reload(ctx context.Context, every time.Duration, logf func(format string, args ...any)) {
-	t := time.NewTicker(every)
-	defer t.Stop()
 	for {
+		delay := every
+		if d := s.Degraded(); d != nil {
+			if s.val.MaxFailures > 0 && d.Failures >= s.val.MaxFailures {
+				s.giveUp(d)
+				if logf != nil {
+					logf("snapshot: reload gave up after %d consecutive quarantines (%s); serving generation %d until restart",
+						d.Failures, d.Reason, s.current.Load().Gen)
+				}
+				<-ctx.Done()
+				return
+			}
+			// Backoff.Delay is 1-indexed by attempt; cap the input so a
+			// long outage cannot shift past the unit width.
+			attempt := d.Failures
+			if attempt > 16 {
+				attempt = 16
+			}
+			delay = time.Duration(s.val.Backoff.Delay(attempt)) * s.val.BackoffUnit
+		}
 		select {
 		case <-ctx.Done():
 			return
-		case <-t.C:
-			g := s.Advance()
+		case <-s.after(delay):
+		}
+		g, err := s.TryAdvance()
+		if err != nil {
 			if logf != nil {
-				logf("snapshot: generation %d live (%d churn events, %d orgs, %d ASNs)",
-					g.Gen, len(g.Events), g.Index.NumOrgs(), g.Index.NumASNs())
+				logf("snapshot: %v (serving last-known-good generation %d)", err, s.current.Load().Gen)
 			}
+			continue
+		}
+		if logf != nil {
+			logf("snapshot: generation %d live (%d churn events, %d orgs, %d ASNs)",
+				g.Gen, len(g.Events), g.Index.NumOrgs(), g.Index.NumASNs())
 		}
 	}
+}
+
+// giveUp marks the degraded state terminal (idempotent).
+func (s *Store) giveUp(d *Degradation) {
+	if d.GaveUp {
+		return
+	}
+	done := *d
+	done.GaveUp = true
+	s.degraded.Store(&done)
 }
 
 // Current returns the live generation.
@@ -255,6 +520,15 @@ func (s *Store) Swaps() uint64 { return s.swaps.Load() }
 
 // Reloading reports whether a rebuild is in flight.
 func (s *Store) Reloading() bool { return s.reloading.Load() }
+
+// Degraded returns the reload gate's failure state, or nil when the
+// newest rebuild was published normally. The returned value is a
+// snapshot — safe to read without locks.
+func (s *Store) Degraded() *Degradation { return s.degraded.Load() }
+
+// Quarantines reports how many rebuilds the validation gate has
+// refused to publish (cumulative across recoveries).
+func (s *Store) Quarantines() uint64 { return s.quarantines.Load() }
 
 // Retained lists the generation numbers currently in the ring, oldest
 // first.
@@ -315,5 +589,15 @@ func (ss storeSource) Diff(from, to *serve.View) (*churn.Audit, bool) {
 	return &a, true
 }
 
-// Reloading reports whether a rebuild is in flight.
-func (ss storeSource) Reloading() bool { return ss.s.Reloading() }
+// ReloadStatus reports the rebuild state, including whether the store
+// is degraded to last-known-good behind the validation gate.
+func (ss storeSource) ReloadStatus() serve.ReloadStatus {
+	st := serve.ReloadStatus{Reloading: ss.s.Reloading()}
+	if d := ss.s.Degraded(); d != nil {
+		st.Degraded = true
+		st.Reason = d.Reason
+		st.ConsecutiveFailures = d.Failures
+		st.GaveUp = d.GaveUp
+	}
+	return st
+}

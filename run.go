@@ -67,6 +67,18 @@ type stageNote struct {
 // it; production runs never set it.
 var buildHook func(node string)
 
+// SetBuildHook installs the scheduler-node build hook (nil uninstalls)
+// and returns a restore function for the previous value. The hook is
+// process-global and not synchronized against concurrent Run calls —
+// it exists so tests outside this package (the snapshot store's reload
+// gate, chiefly) can force a chosen pipeline node to fail or panic and
+// prove the failure is contained. Production code must never call it.
+func SetBuildHook(fn func(node string)) (restore func()) {
+	prev := buildHook
+	buildHook = fn
+	return func() { buildHook = prev }
+}
+
 // runHardened is the degradation-aware pipeline runner, rebuilt on the
 // deterministic DAG scheduler: the five independent data sources (plus
 // WHOIS-derived AS2Org and topology-derived CTI) build concurrently on

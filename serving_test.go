@@ -339,13 +339,13 @@ func TestReadyzUnderChaos(t *testing.T) {
 	var rr serve.ReadyResponse
 	code := httpGetJSON(t, ts.URL+"/readyz", &rr)
 
-	if !reflect.DeepEqual(rr.Degraded, res.Health.DegradedSources()) {
-		t.Fatalf("readyz degraded %v, health %v", rr.Degraded, res.Health.DegradedSources())
+	if !reflect.DeepEqual(rr.DegradedSrc, res.Health.DegradedSources()) {
+		t.Fatalf("readyz degraded %v, health %v", rr.DegradedSrc, res.Health.DegradedSources())
 	}
 	if !reflect.DeepEqual(rr.Unavailable, res.Health.UnavailableSources()) {
 		t.Fatalf("readyz unavailable %v, health %v", rr.Unavailable, res.Health.UnavailableSources())
 	}
-	if len(rr.Degraded) == 0 {
+	if len(rr.DegradedSrc) == 0 {
 		t.Fatal("chaos 0.35 produced no degraded sources — readyz has nothing to reflect")
 	}
 	wantReady := len(res.Health.UnavailableSources()) == 0
