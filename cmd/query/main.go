@@ -9,11 +9,18 @@
 //
 //	query [-seed N] [-scale F] [-gen N] -asn 7473
 //	query [-seed N] [-scale F] [-gen N] -country AO
+//	query [-seed N] [-scale F] -shards 4 -asn 7473
 //
 // -asn and -country are mutually exclusive. -gen N answers from dataset
 // generation N — the world aged N steps under the seeded ownership-churn
 // model, rebuilt through the full pipeline — matching what a cmd/serve
 // instance with the same seeds serves for ?gen=N.
+//
+// -shards N is the fleet diagnostic: alongside the -asn answer it
+// prints which shard of an N-shard fleet owns the ASN, computed from
+// the same partition function a `serve -mode shard` fleet carves with.
+// It only makes sense per-ASN, so combining it with -country is an
+// error (a country's ASes span shards; ask the router).
 package main
 
 import (
@@ -22,6 +29,8 @@ import (
 	"os"
 
 	"stateowned"
+	"stateowned/internal/expand"
+	"stateowned/internal/fleet"
 	"stateowned/internal/report"
 	"stateowned/internal/serve"
 	"stateowned/internal/snapshot"
@@ -34,6 +43,7 @@ func main() {
 	asn := flag.Uint64("asn", 0, "look up one ASN")
 	country := flag.String("country", "", "list a country's state-owned ASes")
 	gen := flag.Int("gen", 0, "dataset generation to answer from (0 = the pristine build)")
+	shards := flag.Int("shards", 0, "fleet diagnostic: also print which shard of an N-shard fleet owns -asn (0 = off)")
 	churnSeed := flag.Uint64("churn-seed", 0, "ownership-churn schedule seed (0 = derive from -seed)")
 	flag.Parse()
 	switch {
@@ -49,11 +59,19 @@ func main() {
 	case *asn != 0 && *country != "":
 		fmt.Fprintln(os.Stderr, "query: -asn and -country are mutually exclusive")
 		os.Exit(2)
+	case *shards < 0 || *shards > fleet.MaxShards:
+		fmt.Fprintf(os.Stderr, "query: invalid -shards: must be in [0, %d]\n", fleet.MaxShards)
+		os.Exit(2)
+	case *shards > 0 && *country != "":
+		fmt.Fprintln(os.Stderr, "query: -shards is a per-ASN diagnostic; a country's ASes span shards")
+		os.Exit(2)
 	}
 
 	var idx *serve.Index
+	var ds *expand.Dataset
 	if *gen == 0 && *churnSeed == 0 {
-		idx = stateowned.Run(stateowned.Config{Seed: *seed, Scale: *scale}).Index()
+		res := stateowned.Run(stateowned.Config{Seed: *seed, Scale: *scale})
+		idx, ds = res.Index(), res.Dataset
 	} else {
 		// A churned generation: the snapshot store rebuilds the world
 		// through -gen seeded churn steps, exactly what a cmd/serve
@@ -71,11 +89,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "query: generation %d unavailable\n", *gen)
 			os.Exit(2)
 		}
-		idx = g.Index
+		idx, ds = g.Index, g.Result.Dataset
 	}
 
 	if *asn != 0 {
 		queryASN(idx, world.ASN(*asn))
+		if *shards > 0 {
+			queryShard(ds, *shards, world.ASN(*asn))
+		}
 		return
 	}
 	queryCountry(idx, *country)
@@ -109,6 +130,19 @@ func queryASN(idx *serve.Index, target world.ASN) {
 		return
 	}
 	fmt.Printf("AS%d: no state ownership detected\n", target)
+}
+
+// queryShard prints the fleet-routing diagnostic: which shard of an
+// n-shard fleet owns the ASN, under the partition a fleet with these
+// seeds would carve.
+func queryShard(ds *expand.Dataset, n int, target world.ASN) {
+	part, err := fleet.ComputePartition(ds, n)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "query: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("  fleet:         shard %d of %d owns AS%d (partition bounds %v)\n",
+		part.ShardOf(target), n, target, part.Bounds)
 }
 
 func queryCountry(idx *serve.Index, cc string) {

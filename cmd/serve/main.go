@@ -13,12 +13,28 @@
 // retention ring (-generations), and /v1/diff?from=&to= audits the
 // ownership churn between two retained generations.
 //
+// The same binary also runs as a sharded fleet. -mode shard serves one
+// ASN-range partition of the dataset plus the /fleet two-phase control
+// plane; -mode router is the fleet's front door, scatter-gathering the
+// shards in -shard-addrs and (with -flip-every) driving their
+// generation-coherent reloads: stage everywhere behind each shard's
+// validation gate, commit only on unanimous acks, then flip the
+// router's generation pin. Shards rebuild every generation
+// deterministically from (seed, churn seed, generation), so a fleet
+// needs agreement on numbers, never state transfer.
+//
 // Usage:
 //
 //	serve [-addr :8080] [-seed N] [-scale F] [-workers N] [-chaos F] [-chaos-seed N] [-cache N]
 //	      [-reload-every D] [-generations N] [-churn-seed N]
 //	      [-max-inflight N] [-queue-wait D] [-request-timeout D] [-drain-timeout D]
 //	      [-reload-max-churn F] [-reload-max-failures N]
+//	serve -mode shard -shards N -shard-index I [world and serving flags]
+//	serve -mode router -shard-addrs host:port,host:port,... [-flip-every D] [serving flags]
+//
+// Flags that contradict the chosen mode (a -reload-every timer on a
+// shard, world-build flags on the data-less router, fleet flags on a
+// single) are rejected at startup with exit status 2.
 //
 // With -chaos > 0 the pipeline builds under a seeded fault plan and
 // /readyz reflects the degraded sources (503 when a source went
@@ -42,16 +58,19 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"stateowned"
+	"stateowned/internal/fleet"
 	"stateowned/internal/serve"
 	"stateowned/internal/snapshot"
 )
@@ -59,90 +78,52 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("serve: ")
-	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks an ephemeral port)")
-	seed := flag.Uint64("seed", 42, "world seed")
-	scale := flag.Float64("scale", 1.0, "world scale")
-	workers := flag.Int("workers", 0, "build-scheduler pool size (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
-	chaos := flag.Float64("chaos", 0, "fault-injection severity in [0,1] (0 = off)")
-	chaosSeed := flag.Uint64("chaos-seed", 0, "fault-plan seed (0 = derive from -seed)")
-	cacheSize := flag.Int("cache", 1024, "response-cache capacity in entries (0 disables caching)")
-	reloadEvery := flag.Duration("reload-every", time.Duration(0), "rebuild and hot-swap the next dataset generation on this cadence (0 = serve generation 0 forever)")
-	generations := flag.Int("generations", snapshot.DefaultRetain, "retention ring: how many generations stay pinnable via ?gen=N")
-	churnSeed := flag.Uint64("churn-seed", 0, "ownership-churn schedule seed (0 = derive from -seed)")
-	maxInflight := flag.Int("max-inflight", serve.DefaultMaxInFlight, "admission control: max concurrently executing /v1 requests (0 = off)")
-	queueWait := flag.Duration("queue-wait", serve.DefaultQueueWait, "admission control: how long an over-limit request may wait for a slot before being shed with 503")
-	requestTimeout := flag.Duration("request-timeout", serve.DefaultRequestTimeout, "per-request handler budget; expensive endpoints get half (0 = no deadline)")
-	drainTimeout := flag.Duration("drain-timeout", serve.DefaultDrainTimeout, "graceful-shutdown drain budget after SIGINT/SIGTERM")
-	reloadMaxChurn := flag.Float64("reload-max-churn", snapshot.DefaultMaxChurnFraction, "reload gate: quarantine a rebuilt generation whose state-owned ASN set churned more than this fraction (0 rejects any change; >= 1 disables the bound)")
-	reloadMaxFailures := flag.Int("reload-max-failures", 0, "reload gate: stop retrying after this many consecutive quarantined rebuilds and serve last-known-good until restart (0 = retry forever)")
-	flag.Parse()
-
-	if *scale <= 0 {
-		log.Println("invalid -scale: must be > 0")
-		os.Exit(2)
-	}
-	if *workers < 0 {
-		log.Println("invalid -workers: must be >= 0")
-		os.Exit(2)
-	}
-	if *chaos < 0 || *chaos > 1 {
-		log.Println("invalid -chaos: severity must be in [0,1]")
-		os.Exit(2)
-	}
-	if *cacheSize < 0 {
-		log.Println("invalid -cache: must be >= 0")
-		os.Exit(2)
-	}
-	if *reloadEvery < 0 {
-		log.Println("invalid -reload-every: must be >= 0")
-		os.Exit(2)
-	}
-	if *generations < 1 {
-		log.Println("invalid -generations: must be >= 1")
-		os.Exit(2)
-	}
-	if *maxInflight < 0 || *maxInflight > serve.MaxInFlightCap {
-		log.Printf("invalid -max-inflight: must be in [0, %d]", serve.MaxInFlightCap)
-		os.Exit(2)
-	}
-	if *queueWait < 0 {
-		log.Println("invalid -queue-wait: must be >= 0")
-		os.Exit(2)
-	}
-	if *requestTimeout < 0 {
-		log.Println("invalid -request-timeout: must be >= 0")
-		os.Exit(2)
-	}
-	if *drainTimeout <= 0 {
-		log.Println("invalid -drain-timeout: must be > 0")
-		os.Exit(2)
-	}
-	if *reloadMaxChurn < 0 {
-		log.Println("invalid -reload-max-churn: must be >= 0")
-		os.Exit(2)
-	}
-	if *reloadMaxFailures < 0 {
-		log.Println("invalid -reload-max-failures: must be >= 0")
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		log.Println(err)
 		os.Exit(2)
 	}
 
-	ln, err := net.Listen("tcp", *addr)
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		log.Printf("invalid -addr: %v", err)
 		os.Exit(2)
 	}
 
-	log.Printf("building generation 0 (seed %d, scale %g, chaos %g)...", *seed, *scale, *chaos)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	switch cfg.mode {
+	case "single":
+		err = runSingle(ctx, cfg, ln)
+	case "shard":
+		err = runShard(ctx, cfg, ln)
+	case "router":
+		err = runRouter(ctx, cfg, ln)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Println("shut down cleanly")
+}
+
+// buildStore builds generation 0 synchronously (single and shard modes)
+// and logs what went live.
+func buildStore(cfg config) *snapshot.Store {
+	log.Printf("building generation 0 (seed %d, scale %g, chaos %g)...", cfg.seed, cfg.scale, cfg.chaos)
 	store := snapshot.New(snapshot.Options{
 		Base: stateowned.Config{
-			Seed: *seed, Scale: *scale, Workers: *workers,
-			ChaosSeverity: *chaos, ChaosSeed: *chaosSeed,
+			Seed: cfg.seed, Scale: cfg.scale, Workers: cfg.workers,
+			ChaosSeverity: cfg.chaos, ChaosSeed: cfg.chaosSeed,
 		},
-		ChurnSeed: *churnSeed,
-		Retain:    *generations,
+		ChurnSeed: cfg.churnSeed,
+		Retain:    cfg.generations,
 		Validation: &snapshot.Validation{
-			MaxChurnFraction: *reloadMaxChurn,
-			MaxFailures:      *reloadMaxFailures,
+			MaxChurnFraction: cfg.reloadMaxChurn,
+			MaxFailures:      cfg.reloadMaxFailures,
 		},
 	})
 	g := store.Current()
@@ -151,40 +132,140 @@ func main() {
 	if degraded := g.Result.Health.DegradedSources(); len(degraded) > 0 {
 		log.Printf("degraded sources: %v (see /readyz)", degraded)
 	}
+	return store
+}
 
-	var admission *serve.AdmissionConfig
-	if *maxInflight > 0 {
-		admission = &serve.AdmissionConfig{
-			MaxInFlight: *maxInflight,
-			QueueWait:   *queueWait,
-		}
-		if *queueWait == 0 {
-			// Flag semantics: an explicit zero means "no waiting", while the
-			// config's zero value means "default wait".
-			admission.QueueWait = -1
-		}
+// admissionFor maps the admission flags to config, preserving the flag
+// semantics: -max-inflight 0 disables admission entirely, and an
+// explicit -queue-wait 0 means "no waiting" where the config's zero
+// value would mean "default wait".
+func admissionFor(cfg config) *serve.AdmissionConfig {
+	if cfg.maxInflight <= 0 {
+		return nil
 	}
-	srv := serve.NewDynamic(store.Source(), serve.Options{
-		CacheSize:      *cacheSize,
-		Admission:      admission,
-		RequestTimeout: *requestTimeout,
-		DrainTimeout:   *drainTimeout,
-	})
+	a := &serve.AdmissionConfig{MaxInFlight: cfg.maxInflight, QueueWait: cfg.queueWait}
+	if cfg.queueWait == 0 {
+		a.QueueWait = -1
+	}
+	return a
+}
+
+func serveOptions(cfg config) serve.Options {
+	return serve.Options{
+		CacheSize:      cfg.cacheSize,
+		Admission:      admissionFor(cfg),
+		RequestTimeout: cfg.requestTimeout,
+		DrainTimeout:   cfg.drainTimeout,
+	}
+}
+
+// announce prints the machine-readable handshake the smoke tests (and
+// port-0 users) parse for the bound address.
+func announce(ln net.Listener) { fmt.Printf("listening on %s\n", ln.Addr()) }
+
+// runSingle is the classic all-in-one server: build, serve, optionally
+// hot-reload on a timer.
+func runSingle(ctx context.Context, cfg config, ln net.Listener) error {
+	store := buildStore(cfg)
+	srv := serve.NewDynamic(store.Source(), serveOptions(cfg))
 	store.OnEvict(srv.InvalidateGeneration)
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	if cfg.reloadEvery > 0 {
+		log.Printf("hot reload on: next generation every %s, retaining %d", cfg.reloadEvery, cfg.generations)
+		go store.Reload(ctx, cfg.reloadEvery, log.Printf)
+	}
+	announce(ln)
+	return srv.Serve(ctx, ln)
+}
 
-	if *reloadEvery > 0 {
-		log.Printf("hot reload on: next generation every %s, retaining %d", *reloadEvery, *generations)
-		go store.Reload(ctx, *reloadEvery, log.Printf)
+// runShard serves one partition of the fleet: the carved data plane,
+// the /full plane, and the two-phase control plane. Generations advance
+// only on the coordinator's stage/commit orders.
+func runShard(ctx context.Context, cfg config, ln net.Listener) error {
+	store := buildStore(cfg)
+	part, err := fleet.ComputePartition(store.Current().Result.Dataset, cfg.shards)
+	if err != nil {
+		return fmt.Errorf("computing partition: %w", err)
+	}
+	sh := fleet.NewShardServer(store, part, cfg.shardIndex, serveOptions(cfg))
+	log.Printf("shard %d/%d ready: awaiting coordinator orders on %s", cfg.shardIndex, cfg.shards, fleet.StagePath)
+	announce(ln)
+	return sh.Serve(ctx, ln)
+}
+
+// runRouter is the fleet front door: adopt the partition from shard 0,
+// bootstrap a coherent generation pin from the whole fleet, then serve —
+// and, with -flip-every, drive the coordinated reload loop.
+func runRouter(ctx context.Context, cfg config, ln net.Listener) error {
+	httpc := &http.Client{}
+	clients := make([]fleet.ShardClient, len(cfg.shardAddrs))
+	for i, base := range cfg.shardAddrs {
+		clients[i] = fleet.ShardClient{Index: i, Base: base, HTTP: httpc}
 	}
 
-	// The "listening on" line is the machine-readable handshake the smoke
-	// tests (and port-0 users) parse for the bound address.
-	fmt.Printf("listening on %s\n", ln.Addr())
-	if err := srv.Serve(ctx, ln); err != nil {
-		log.Fatal(err)
+	// The partition is the shards' to declare (they carved it from the
+	// generation-0 dataset); the router adopts it from shard 0 and
+	// Bootstrap cross-checks every other shard against it. Shards build
+	// their world at startup, so poll patiently.
+	part, err := adoptPartition(ctx, &clients[0], cfg.shards)
+	if err != nil {
+		return err
 	}
-	log.Println("shut down cleanly")
+
+	rt, err := fleet.NewRouter(fleet.RouterOptions{
+		Partition:      part,
+		Shards:         clients,
+		Admission:      admissionFor(cfg),
+		RequestTimeout: cfg.requestTimeout,
+		Lifecycle:      serve.LifecycleOptions{DrainTimeout: cfg.drainTimeout},
+	})
+	if err != nil {
+		return fmt.Errorf("building router: %w", err)
+	}
+	coord := fleet.NewCoordinator(rt, clients, fleet.CoordinatorOptions{
+		// Stage calls build a whole generation on the shard; budget for a
+		// build, not a ping.
+		ControlTimeout: 5 * time.Minute,
+	})
+	gen, err := coord.Bootstrap(ctx)
+	if err != nil {
+		return err
+	}
+	log.Printf("fleet bootstrap: %d shards coherent at generation %d", len(clients), gen)
+
+	if cfg.flipEvery > 0 {
+		log.Printf("coordinated reload on: two-phase flip every %s", cfg.flipEvery)
+		go coord.Run(ctx, cfg.flipEvery, log.Printf)
+	}
+	announce(ln)
+	return rt.Serve(ctx, ln)
+}
+
+// adoptPartition polls shard 0's control plane until it answers (shards
+// spend their startup building generation 0) and returns its declared
+// partition.
+func adoptPartition(ctx context.Context, sc *fleet.ShardClient, wantShards int) (fleet.Partition, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		callCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		st, err := sc.Status(callCtx)
+		cancel()
+		switch {
+		case err == nil && st.Shards != wantShards:
+			return fleet.Partition{}, fmt.Errorf(
+				"shard 0 at %s is part of a %d-shard fleet, not %d", sc.Base, st.Shards, wantShards)
+		case err == nil:
+			return st.Partition, nil
+		default:
+			lastErr = err
+		}
+		if attempt%10 == 0 {
+			log.Printf("waiting for shard 0 at %s: %v", sc.Base, lastErr)
+		}
+		select {
+		case <-ctx.Done():
+			return fleet.Partition{}, fmt.Errorf("waiting for shard 0 at %s: %w (last: %v)", sc.Base, ctx.Err(), lastErr)
+		case <-time.After(time.Second):
+		}
+	}
 }

@@ -1,0 +1,124 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// maxControlBody bounds how much of a control-plane reply the client
+// will read — acks and statuses are small; anything larger is a bug.
+const maxControlBody = 1 << 20
+
+// ShardClient is the router's and coordinator's handle on one shard:
+// its position in the partition, its base URL, and the HTTP client to
+// reach it with. Tests swap HTTP's Transport for an in-process
+// round-tripper, so the whole fleet runs without listeners.
+type ShardClient struct {
+	Index int
+	Base  string
+	HTTP  *http.Client
+}
+
+func (c *ShardClient) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Get issues a data-plane GET (path must start with "/") and returns
+// the raw response: the merge layer needs status, body and headers, not
+// a decoded struct.
+func (c *ShardClient) Get(ctx context.Context, path string) (*http.Response, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, body, nil
+}
+
+// control issues one POST to a control-plane path with a ?gen= operand
+// and decodes the ack. Non-2xx is an error carrying the shard's own
+// explanation (e.g. the validation-gate quarantine reason on a failed
+// stage).
+func (c *ShardClient) control(ctx context.Context, path string, gen int) (StageAck, error) {
+	url := c.Base + path + "?gen=" + strconv.Itoa(gen)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, nil)
+	if err != nil {
+		return StageAck{}, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return StageAck{}, fmt.Errorf("shard %d: %w", c.Index, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxControlBody))
+	if err != nil {
+		return StageAck{}, fmt.Errorf("shard %d: reading ack: %w", c.Index, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.Unmarshal(body, &e)
+		return StageAck{}, fmt.Errorf("shard %d: %s %d: %s", c.Index, path, resp.StatusCode, e.Error)
+	}
+	var ack StageAck
+	if err := json.Unmarshal(body, &ack); err != nil {
+		return StageAck{}, fmt.Errorf("shard %d: decoding ack: %w", c.Index, err)
+	}
+	return ack, nil
+}
+
+// Stage asks the shard to build and hold generation gen (phase one).
+func (c *ShardClient) Stage(ctx context.Context, gen int) (StageAck, error) {
+	return c.control(ctx, StagePath, gen)
+}
+
+// Commit asks the shard to publish its staged generation (phase two).
+func (c *ShardClient) Commit(ctx context.Context, gen int) (StageAck, error) {
+	return c.control(ctx, CommitPath, gen)
+}
+
+// Abort asks the shard to discard its staged generation.
+func (c *ShardClient) Abort(ctx context.Context, gen int) (StageAck, error) {
+	return c.control(ctx, AbortPath, gen)
+}
+
+// Status fetches the shard's control-plane self-description.
+func (c *ShardClient) Status(ctx context.Context) (ShardStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+StatusPath, nil)
+	if err != nil {
+		return ShardStatus{}, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return ShardStatus{}, fmt.Errorf("shard %d: %w", c.Index, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxControlBody))
+	if err != nil {
+		return ShardStatus{}, fmt.Errorf("shard %d: reading status: %w", c.Index, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return ShardStatus{}, fmt.Errorf("shard %d: status %d", c.Index, resp.StatusCode)
+	}
+	var st ShardStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		return ShardStatus{}, fmt.Errorf("shard %d: decoding status: %w", c.Index, err)
+	}
+	return st, nil
+}

@@ -1,0 +1,221 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+
+	"stateowned/internal/expand"
+	"stateowned/internal/serve"
+)
+
+// Envelope is the degraded-response contract: when a minority of shard
+// legs failed, the router still answers from the survivors but says so
+// explicitly — Partial true, the failed shard indexes listed, HTTP 206
+// and X-Shards-Failed on the wire. Both fields are omitempty, so a
+// complete answer's body is byte-identical to a single-process
+// server's.
+type Envelope struct {
+	Partial      bool  `json:"partial,omitempty"`
+	ShardsFailed []int `json:"shards_failed,omitempty"`
+}
+
+// CountryFleetResponse is a merged /v1/country answer: the standard
+// response plus the partial envelope.
+type CountryFleetResponse struct {
+	serve.CountryResponse
+	Envelope
+}
+
+// SearchFleetResponse is a merged /v1/search answer.
+type SearchFleetResponse struct {
+	serve.SearchResponse
+	Envelope
+}
+
+// leg is one shard's contribution to a fan-out: either a response
+// (status, body, generation, Retry-After) or a transport-level error.
+type leg struct {
+	shard      int
+	status     int
+	body       []byte
+	gen        string
+	retryAfter int
+	err        error
+	hedged     bool
+}
+
+// classified buckets a fan-out's legs for merging.
+type classified struct {
+	// ok holds the 200 legs that answered from the pinned generation, in
+	// shard order.
+	ok []leg
+	// detErr is the first deterministic client-level error (400/404/410)
+	// by shard order: every shard serving the pinned generation gives the
+	// same verdict for these, so one shard's answer is the fleet's.
+	detErr *leg
+	// failed lists shards whose legs were lost: breaker-open, transport
+	// error, leg deadline, shard-side shed (503), or an incoherent
+	// generation. Ascending.
+	failed []int
+	// retryAfter is the largest Retry-After carried by a shed leg.
+	retryAfter int
+}
+
+// classify sorts a fan-out's legs into mergeable, deterministic-error
+// and failed. pin is the generation every leg was pinned to; a leg
+// answering from any other generation is incoherent — a torn read the
+// merge must not ingest — and counts as failed.
+func classify(legs []leg, pin string) classified {
+	var c classified
+	for _, l := range legs {
+		switch {
+		case l.err != nil:
+			c.failed = append(c.failed, l.shard)
+		case l.status == http.StatusOK:
+			if l.gen != pin {
+				c.failed = append(c.failed, l.shard)
+				continue
+			}
+			c.ok = append(c.ok, l)
+		case l.status == http.StatusServiceUnavailable:
+			// Shard-side shedding: back-pressure, not breaker-worthy
+			// failure. The leg is still lost for this request.
+			c.failed = append(c.failed, l.shard)
+			if l.retryAfter > c.retryAfter {
+				c.retryAfter = l.retryAfter
+			}
+		case l.status == http.StatusBadRequest,
+			l.status == http.StatusNotFound,
+			l.status == http.StatusGone:
+			if c.detErr == nil || l.shard < c.detErr.shard {
+				l := l
+				c.detErr = &l
+			}
+		default:
+			// 5xx or anything unexpected: a lost leg.
+			c.failed = append(c.failed, l.shard)
+		}
+	}
+	sort.Ints(c.failed)
+	sort.Slice(c.ok, func(i, j int) bool { return c.ok[i].shard < c.ok[j].shard })
+	return c
+}
+
+// envelope builds the partial envelope for a merged answer: empty when
+// every leg contributed (so the body stays byte-identical to
+// single-process), marked partial otherwise.
+func (c classified) envelope() Envelope {
+	if len(c.failed) == 0 {
+		return Envelope{}
+	}
+	return Envelope{Partial: true, ShardsFailed: c.failed}
+}
+
+// mergeCountry unions per-shard country answers into the fleet answer.
+// Organizations replicated across shards (an ASN list spanning a range
+// boundary) arrive as byte-identical copies and deduplicate by OrgID;
+// the canonical index ordering (orgs by OrgID, minority records by
+// MinorityLess) is re-established after the union, which is what makes
+// the merged body independent of shard reply order — and, when no leg
+// failed, byte-identical to a single-process answer.
+func mergeCountry(cc string, legs []leg, env Envelope) ([]byte, error) {
+	orgsByID := map[string]serve.OrgResponse{}
+	minority := []expand.MinorityRecord{}
+	seenMinority := map[string]bool{}
+	for _, l := range legs {
+		var resp serve.CountryResponse
+		if err := json.Unmarshal(l.body, &resp); err != nil {
+			return nil, fmt.Errorf("shard %d country body: %w", l.shard, err)
+		}
+		for _, o := range resp.Organizations {
+			if o.Organization == nil {
+				continue
+			}
+			orgsByID[o.Organization.OrgID] = o
+		}
+		for _, m := range resp.Minority {
+			key, err := json.Marshal(m)
+			if err != nil {
+				return nil, err
+			}
+			if !seenMinority[string(key)] {
+				seenMinority[string(key)] = true
+				minority = append(minority, m)
+			}
+		}
+	}
+	merged := CountryFleetResponse{
+		CountryResponse: serve.CountryResponse{CC: cc, Organizations: []serve.OrgResponse{}},
+		Envelope:        env,
+	}
+	ids := make([]string, 0, len(orgsByID))
+	for id := range orgsByID {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		merged.Organizations = append(merged.Organizations, orgsByID[id])
+	}
+	sort.Slice(minority, func(a, b int) bool { return serve.MinorityLess(&minority[a], &minority[b]) })
+	if len(minority) > 0 {
+		merged.Minority = minority
+	}
+	return serve.JSONBody(merged)
+}
+
+// mergeSearch unions per-shard search answers. Two rules restore exact
+// single-index semantics:
+//
+//   - Fallback partition: a shard with no token candidates falls back to
+//     a full scan the single index would never have run while any other
+//     shard held a token candidate — so fallback legs contribute only
+//     when every leg fell back.
+//   - Distributed top-K: each shard returned its local top-limit, and
+//     every member of the global top-limit is in its owning shard's
+//     local top-limit (it has strictly fewer competitors there), so the
+//     deduplicated union contains the global top-limit; re-sorting by
+//     (score desc, OrgID) and truncating yields it exactly.
+func mergeSearch(legs []leg, limit int, env Envelope) ([]byte, error) {
+	resps := make([]serve.SearchResponse, len(legs))
+	allFallback := true
+	for i, l := range legs {
+		if err := json.Unmarshal(l.body, &resps[i]); err != nil {
+			return nil, fmt.Errorf("shard %d search body: %w", l.shard, err)
+		}
+		if !resps[i].Fallback {
+			allFallback = false
+		}
+	}
+	merged := SearchFleetResponse{
+		SearchResponse: serve.SearchResponse{Hits: []serve.SearchHitRecord{}, Fallback: allFallback},
+		Envelope:       env,
+	}
+	seen := map[string]bool{}
+	for _, resp := range resps {
+		if merged.Query == "" {
+			merged.Query = resp.Query
+		}
+		if resp.Fallback && !allFallback {
+			continue
+		}
+		for _, h := range resp.Hits {
+			if h.Organization == nil || seen[h.Organization.OrgID] {
+				continue
+			}
+			seen[h.Organization.OrgID] = true
+			merged.Hits = append(merged.Hits, h)
+		}
+	}
+	sort.Slice(merged.Hits, func(i, j int) bool {
+		if merged.Hits[i].Score != merged.Hits[j].Score {
+			return merged.Hits[i].Score > merged.Hits[j].Score
+		}
+		return merged.Hits[i].Organization.OrgID < merged.Hits[j].Organization.OrgID
+	})
+	if len(merged.Hits) > limit {
+		merged.Hits = merged.Hits[:limit]
+	}
+	return serve.JSONBody(merged)
+}

@@ -1,0 +1,132 @@
+// Package fleet is the sharded serving layer over the generational
+// dataset: N shard servers each hold one ASN-range partition of the
+// index, a thin router answers /v1/asn with single-shard fast-path
+// routing and /v1/search, /v1/country, /v1/org with scatter-gather and
+// a deterministic merge, and a two-phase coordinator keeps every
+// shard's generation coherent through hot reloads — all shards stage
+// generation g behind the snapshot validation gate, and the router
+// flips only after unanimous stage-acks and commits.
+//
+// Robustness is the design center. The fleet never serves a
+// mixed-generation aggregate: the router pins every shard leg to its
+// own committed fleet generation, and legs answering from any other
+// generation are discarded as incoherent. The fleet never turns a
+// minority shard failure into a total failure: per-shard circuit
+// breakers, per-leg deadlines carved from the request budget, and one
+// hedged retry for slow legs keep healthy shards answering, and a
+// query that lost a minority of its legs degrades to an explicit
+// partial envelope (206 + X-Shards-Failed) instead of a 500. And the
+// fleet never tears a reload: a shard that fails to stage quarantines
+// the whole flip while every shard keeps serving the previous
+// generation — the snapshot store's last-known-good discipline, lifted
+// to fleet scope.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"stateowned/internal/expand"
+	"stateowned/internal/world"
+)
+
+// MaxShards bounds the fleet size: beyond it the per-request fan-out
+// cost dominates any partitioning win.
+const MaxShards = 64
+
+// Partition is the fleet's ASN-range partition function: shard i owns
+// the half-open ASN range [Bounds[i], Bounds[i+1]) with Bounds[0]
+// implicitly 0 and the last range open-ended. Every router and every
+// shard must hold the identical partition — it is computed
+// deterministically from the generation-0 dataset (ComputePartition)
+// and cross-checked at bootstrap (Equal).
+type Partition struct {
+	// Shards is the shard count (>= 1).
+	Shards int `json:"shards"`
+	// Bounds are the Shards-1 split points, ascending: an ASN a belongs
+	// to the highest shard i with Bounds[i-1] <= a (shard 0 below
+	// Bounds[0]).
+	Bounds []world.ASN `json:"bounds"`
+}
+
+// ComputePartition derives the fleet's partition from a dataset: the
+// dataset's state-owned ASNs, sorted, are split into n contiguous runs
+// of near-equal count, and each run's first ASN becomes a split point.
+// The function is a pure function of (dataset, n), so every shard and
+// router that builds the same generation-0 dataset computes the same
+// partition without any coordination.
+func ComputePartition(ds *expand.Dataset, n int) (Partition, error) {
+	if n < 1 || n > MaxShards {
+		return Partition{}, fmt.Errorf("shard count %d out of range [1, %d]", n, MaxShards)
+	}
+	p := Partition{Shards: n}
+	if n == 1 {
+		return p, nil
+	}
+	asns := ds.AllASNs() // sorted, deduplicated
+	if len(asns) < n {
+		return Partition{}, fmt.Errorf("dataset has %d state-owned ASNs, too few for %d shards", len(asns), n)
+	}
+	for i := 1; i < n; i++ {
+		p.Bounds = append(p.Bounds, asns[i*len(asns)/n])
+	}
+	return p, nil
+}
+
+// ShardOf maps an ASN to the shard that owns it: binary search over the
+// split points. Total — every representable ASN maps to exactly one
+// shard, so the router can route /v1/asn without consulting any index.
+func (p Partition) ShardOf(a world.ASN) int {
+	return sort.Search(len(p.Bounds), func(i int) bool { return a < p.Bounds[i] })
+}
+
+// Equal reports whether two partitions are identical — the bootstrap
+// cross-check that every shard and the router agree on ownership.
+func (p Partition) Equal(q Partition) bool {
+	if p.Shards != q.Shards || len(p.Bounds) != len(q.Bounds) {
+		return false
+	}
+	for i := range p.Bounds {
+		if p.Bounds[i] != q.Bounds[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Carve builds shard's sub-dataset: the organizations and minority
+// records with at least one ASN in the shard's range, each kept whole
+// (full record, full ASN list). An organization whose ASNs span a range
+// boundary is therefore replicated onto every shard that owns one of
+// its ASNs — that is what makes the fast path complete (any owning
+// shard answers /v1/asn with the full sibling list) and the
+// scatter-gather merge exact (replicas are byte-identical, deduplicated
+// by OrgID). Relative order is preserved, so a sub-dataset is a
+// subsequence of the full dataset.
+func (p Partition) Carve(ds *expand.Dataset, shard int) *expand.Dataset {
+	if shard < 0 || shard >= p.Shards {
+		panic(fmt.Sprintf("fleet: carve shard %d of %d", shard, p.Shards))
+	}
+	sub := &expand.Dataset{}
+	owns := func(asns []world.ASN) bool {
+		for _, a := range asns {
+			if p.ShardOf(a) == shard {
+				return true
+			}
+		}
+		// Record with no ASNs at all: owned by shard 0 so it is not lost.
+		return len(asns) == 0 && shard == 0
+	}
+	for i := range ds.Organizations {
+		if owns(ds.ASNs[i].ASNs) {
+			sub.Organizations = append(sub.Organizations, ds.Organizations[i])
+			sub.ASNs = append(sub.ASNs, ds.ASNs[i])
+		}
+	}
+	for i := range ds.Minority {
+		if owns(ds.Minority[i].ASNs) {
+			sub.Minority = append(sub.Minority, ds.Minority[i])
+		}
+	}
+	return sub
+}

@@ -134,7 +134,48 @@ func BuildIndex(ds *expand.Dataset) *Index {
 			setHandle(a, func(h uint32) uint32 { return h | minorityFlag })
 		}
 	}
+	// Canonicalize per-country ordering: organizations by OrgID, minority
+	// records by (name, owner, share). Dataset assembly order is an
+	// artifact of pipeline internals; the canonical order is a stable API
+	// guarantee — and it is what lets the fleet router merge per-shard
+	// country answers deterministically (and byte-identically to a
+	// single-process answer) regardless of which shard replied first.
+	for cc := range idx.countryOrgs {
+		orgs := idx.countryOrgs[cc]
+		sort.Slice(orgs, func(a, b int) bool {
+			return ds.Organizations[orgs[a]].OrgID < ds.Organizations[orgs[b]].OrgID
+		})
+	}
+	for cc := range idx.countryMinority {
+		min := idx.countryMinority[cc]
+		sort.Slice(min, func(a, b int) bool {
+			return MinorityLess(&ds.Minority[min[a]], &ds.Minority[min[b]])
+		})
+	}
 	return idx
+}
+
+// MinorityLess is the canonical minority-record order: by organization
+// name, then owner state, then share, then first ASN — a total order on
+// any real dataset, independent of assembly order.
+func MinorityLess(a, b *expand.MinorityRecord) bool {
+	if a.OrgName != b.OrgName {
+		return a.OrgName < b.OrgName
+	}
+	if a.Owner != b.Owner {
+		return a.Owner < b.Owner
+	}
+	if a.Share != b.Share {
+		return a.Share < b.Share
+	}
+	var aa, ba world.ASN
+	if len(a.ASNs) > 0 {
+		aa = a.ASNs[0]
+	}
+	if len(b.ASNs) > 0 {
+		ba = b.ASNs[0]
+	}
+	return aa < ba
 }
 
 // Dataset returns the underlying dataset (for the full Listing-1
@@ -208,7 +249,9 @@ func (idx *Index) Org(id string) (Org, bool) {
 
 // Country lists the organizations operating in cc (majority ownership,
 // domestic or foreign-subsidiary) and the minority state holdings
-// registered there, in dataset order. cc is canonicalized to upper case.
+// registered there, in canonical order (organizations by OrgID,
+// minority records by name/owner/share). cc is canonicalized to upper
+// case.
 func (idx *Index) Country(cc string) (orgs []Org, minority []expand.MinorityRecord) {
 	cc = CanonicalCC(cc)
 	for _, i := range idx.countryOrgs[cc] {
@@ -243,6 +286,18 @@ const (
 // organization. Results are sorted by descending score, ties broken by
 // org ID, and truncated to limit (<=0 means 10).
 func (idx *Index) Search(query string, limit int) []SearchHit {
+	hits, _ := idx.SearchPartition(query, limit)
+	return hits
+}
+
+// SearchPartition is Search plus the fallback verdict: fallback is true
+// when no indexed organization shared a token with the query and the
+// hits came from the full-scan fallback at its higher floor. The fleet
+// router merges per-shard results on this flag: a shard that fell back
+// contributes hits only when every shard fell back — exactly the
+// single-index semantics, where the fallback never runs while any token
+// candidate exists.
+func (idx *Index) SearchPartition(query string, limit int) (_ []SearchHit, fallback bool) {
 	if limit <= 0 {
 		limit = 10
 	}
@@ -254,6 +309,7 @@ func (idx *Index) Search(query string, limit int) []SearchHit {
 	}
 	floor := minSearchScore
 	if len(cands) == 0 {
+		fallback = true
 		floor = minFallbackScore
 		for i := range idx.ds.Organizations {
 			cands[i] = true
@@ -276,7 +332,7 @@ func (idx *Index) Search(query string, limit int) []SearchHit {
 	if len(hits) > limit {
 		hits = hits[:limit]
 	}
-	return hits
+	return hits, fallback
 }
 
 // CanonicalCC upper-cases a country code so that /v1/country/ao and

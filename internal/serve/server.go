@@ -223,15 +223,35 @@ func (s *Server) InvalidateGeneration(gen int) { s.cache.PurgeGeneration(gen) }
 // not an error). The http.Server runs with read-header, write and idle
 // timeouts so a slowloris client cannot pin a connection forever.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
-	drain := s.drainTimeout
-	if drain <= 0 {
-		drain = DefaultDrainTimeout
-	}
+	return ServeHandler(ctx, ln, s, LifecycleOptions{
+		DrainTimeout:      s.drainTimeout,
+		ReadHeaderTimeout: s.readHeaderTimeout,
+		WriteTimeout:      s.writeTimeout,
+		IdleTimeout:       s.idleTimeout,
+	})
+}
+
+// LifecycleOptions bound an http.Server's connection lifecycle for
+// ServeHandler; zero fields select the package defaults.
+type LifecycleOptions struct {
+	DrainTimeout      time.Duration
+	ReadHeaderTimeout time.Duration
+	WriteTimeout      time.Duration
+	IdleTimeout       time.Duration
+}
+
+// ServeHandler runs any handler with this package's hardened server
+// lifecycle — slowloris-bounded connections, context-driven graceful
+// drain, force-close of stragglers past the drain budget. The fleet's
+// shard and router servers ride the same lifecycle as the
+// single-process server.
+func ServeHandler(ctx context.Context, ln net.Listener, h http.Handler, opts LifecycleOptions) error {
+	drain := orDefault(opts.DrainTimeout, DefaultDrainTimeout)
 	hs := &http.Server{
-		Handler:           s,
-		ReadHeaderTimeout: orDefault(s.readHeaderTimeout, DefaultReadHeaderTimeout),
-		WriteTimeout:      orDefault(s.writeTimeout, DefaultWriteTimeout),
-		IdleTimeout:       orDefault(s.idleTimeout, DefaultIdleTimeout),
+		Handler:           h,
+		ReadHeaderTimeout: orDefault(opts.ReadHeaderTimeout, DefaultReadHeaderTimeout),
+		WriteTimeout:      orDefault(opts.WriteTimeout, DefaultWriteTimeout),
+		IdleTimeout:       orDefault(opts.IdleTimeout, DefaultIdleTimeout),
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
@@ -273,21 +293,17 @@ type response struct {
 
 // jsonResponse marshals v as an indented JSON response.
 func jsonResponse(status int, v any) response {
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
+	body, err := JSONBody(v)
+	if err != nil {
 		return errResponse(http.StatusInternalServerError, "encoding response")
 	}
-	return response{status: status, contentType: "application/json", body: buf.Bytes()}
+	return response{status: status, contentType: "application/json", body: body}
 }
 
-type errorBody struct {
-	Error string `json:"error"`
-}
-
+// errResponse materializes the canonical ErrorBody envelope — the one
+// helper every /v1 error path (400/404/410/500/503/504) goes through.
 func errResponse(status int, msg string) response {
-	return jsonResponse(status, errorBody{Error: msg})
+	return jsonResponse(status, ErrorBody{Error: msg, Status: status})
 }
 
 // resolveView resolves the generation a request addresses: the live
@@ -536,10 +552,16 @@ func (s *Server) handleCountry(v *View, r *http.Request) response {
 }
 
 // SearchResponse is the fuzzy-name search result list. Query echoes the
-// normalized form the results were computed from.
+// normalized form the results were computed from. Fallback reports that
+// no organization shared a token with the query and the hits came from
+// the full-scan fallback at its higher score floor — the fleet router
+// needs the flag to merge shard results with single-process semantics
+// (a shard with no token matches must not contribute fallback hits when
+// another shard had real token candidates).
 type SearchResponse struct {
-	Query string            `json:"query"`
-	Hits  []SearchHitRecord `json:"hits"`
+	Query    string            `json:"query"`
+	Hits     []SearchHitRecord `json:"hits"`
+	Fallback bool              `json:"fallback,omitempty"`
 }
 
 // SearchHitRecord is one scored search hit.
@@ -565,8 +587,9 @@ func (s *Server) handleSearch(v *View, r *http.Request) response {
 			limit = n
 		}
 	}
-	body := SearchResponse{Query: nameutil.Normalize(name), Hits: []SearchHitRecord{}}
-	for _, h := range v.Index.Search(name, limit) {
+	hits, fallback := v.Index.SearchPartition(name, limit)
+	body := SearchResponse{Query: nameutil.Normalize(name), Hits: []SearchHitRecord{}, Fallback: fallback}
+	for _, h := range hits {
 		body.Hits = append(body.Hits, SearchHitRecord{
 			Score: h.Score, Organization: h.Org.Record, ASNs: h.Org.ASNs,
 		})

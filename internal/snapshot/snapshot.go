@@ -192,12 +192,17 @@ type Store struct {
 	degraded atomic.Pointer[Degradation]
 
 	// buildMu serializes builders (Advance is safe to call concurrently,
-	// advances just queue) and guards failures; mu guards the retention
-	// ring.
+	// advances just queue) and guards failures and staged; mu guards the
+	// retention ring.
 	buildMu  sync.Mutex
 	failures int // consecutive quarantined rebuilds
-	mu       sync.RWMutex
-	ring     []*Generation
+	// staged is a generation that passed the validation gate but has not
+	// been published — the fleet's two-phase reload holds it here between
+	// the stage ack and the commit order. Invisible to readers until
+	// Commit publishes it.
+	staged *Generation
+	mu     sync.RWMutex
+	ring   []*Generation
 
 	onEvict func(gen int)
 
@@ -359,18 +364,55 @@ func (s *Store) OnEvict(fn func(gen int)) {
 // serving its last validated generation, and the degraded state is
 // raised with the failure reason. Blocking until the swap or the
 // quarantine decision; safe for concurrent callers (builds serialize).
+//
+// TryAdvance is exactly Stage of the next generation followed by an
+// immediate Commit — the single-process reload, where nothing sits
+// between validation and publish. The fleet's two-phase reload calls
+// the halves separately.
 func (s *Store) TryAdvance() (*Generation, error) {
 	s.buildMu.Lock()
 	defer s.buildMu.Unlock()
+	gen := s.current.Load().Gen + 1
+	if err := s.stageLocked(gen); err != nil {
+		return nil, err
+	}
+	return s.commitLocked(gen)
+}
+
+// Stage builds generation gen and runs it through the validation gate,
+// holding the result unpublished: readers keep seeing the live
+// generation until Commit. Phase one of the fleet's two-phase reload —
+// a shard that staged successfully has proven it can serve gen and
+// merely awaits the coordinator's commit order.
+//
+// Stage is idempotent: staging a generation that is already live (or
+// older), or already staged, acks immediately without rebuilding. A
+// failing or panicking build is quarantined exactly as in TryAdvance
+// (degraded state raised, failure counted) and the error returned.
+// Staging a different generation than one currently held replaces it.
+func (s *Store) Stage(gen int) error {
+	s.buildMu.Lock()
+	defer s.buildMu.Unlock()
+	return s.stageLocked(gen)
+}
+
+// stageLocked is Stage under buildMu.
+func (s *Store) stageLocked(gen int) error {
+	prev := s.current.Load()
+	if gen <= prev.Gen {
+		return nil // already published — nothing to stage
+	}
+	if s.staged != nil && s.staged.Gen == gen {
+		return nil // already staged — idempotent re-ack
+	}
 	s.reloading.Store(true)
 	defer s.reloading.Store(false)
-	prev := s.current.Load()
-	gen := prev.Gen + 1
 	g, err := s.buildChecked(gen)
 	if err == nil {
 		err = s.validate(prev, g)
 	}
 	if err != nil {
+		s.staged = nil
 		s.quarantines.Add(1)
 		s.failures++
 		s.degraded.Store(&Degradation{
@@ -378,12 +420,81 @@ func (s *Store) TryAdvance() (*Generation, error) {
 			FailedGen: gen,
 			Failures:  s.failures,
 		})
-		return nil, fmt.Errorf("generation %d quarantined: %w", gen, err)
+		return fmt.Errorf("generation %d quarantined: %w", gen, err)
 	}
+	s.staged = g
+	return nil
+}
+
+// Commit publishes the staged generation gen — phase two of the
+// two-phase reload, a single atomic pointer swap. Committing a
+// generation that is already live (or older) is an idempotent no-op
+// returning (nil, nil): a shard that crashed after commit and was
+// re-sent the order must not fail. Committing a generation that was
+// never staged is an error — the coordinator's contract is stage
+// first, unanimously, then commit.
+func (s *Store) Commit(gen int) (*Generation, error) {
+	s.buildMu.Lock()
+	defer s.buildMu.Unlock()
+	return s.commitLocked(gen)
+}
+
+// commitLocked is Commit under buildMu.
+func (s *Store) commitLocked(gen int) (*Generation, error) {
+	if s.current.Load().Gen >= gen {
+		return nil, nil // already live — idempotent re-ack
+	}
+	if s.staged == nil || s.staged.Gen != gen {
+		have := -1
+		if s.staged != nil {
+			have = s.staged.Gen
+		}
+		return nil, fmt.Errorf("commit generation %d: not staged (staged: %d, live: %d)",
+			gen, have, s.current.Load().Gen)
+	}
+	g := s.staged
+	s.staged = nil
 	s.failures = 0
 	s.degraded.Store(nil)
 	s.publish(g)
 	return g, nil
+}
+
+// AbortStage discards a held staged generation (any generation when
+// gen < 0, exactly gen otherwise) and reports whether something was
+// dropped. The coordinator aborts every shard's stage when any shard
+// fails to stage: the fleet then keeps serving the previous generation
+// everywhere, coherently.
+func (s *Store) AbortStage(gen int) bool {
+	s.buildMu.Lock()
+	defer s.buildMu.Unlock()
+	if s.staged == nil || (gen >= 0 && s.staged.Gen != gen) {
+		return false
+	}
+	s.staged = nil
+	return true
+}
+
+// StagedGen reports the generation currently staged-but-unpublished,
+// or -1 when none is.
+func (s *Store) StagedGen() int {
+	s.buildMu.Lock()
+	defer s.buildMu.Unlock()
+	if s.staged == nil {
+		return -1
+	}
+	return s.staged.Gen
+}
+
+// Staged returns the held staged generation (nil when none). The
+// generation is complete and validated but unpublished; the fleet
+// shard uses it to pre-carve its partition sub-index between the stage
+// ack and the commit order, so the post-commit request path never pays
+// the carve. Callers must treat it as immutable.
+func (s *Store) Staged() *Generation {
+	s.buildMu.Lock()
+	defer s.buildMu.Unlock()
+	return s.staged
 }
 
 // Advance builds and publishes the next generation, blocking until the

@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"sort"
 	"sync"
 	"testing"
 
@@ -42,17 +43,24 @@ func scanASN(ds *expand.Dataset, target world.ASN) (orgID string, owned bool, mi
 }
 
 // scanCountry brute-force collects a country's org IDs and minority org
-// names in dataset order.
+// names in the index's canonical order (orgs by OrgID, minority records
+// by serve.MinorityLess).
 func scanCountry(ds *expand.Dataset, cc string) (orgIDs, minorityOrgs []string) {
 	for i := range ds.Organizations {
 		if ds.Organizations[i].OperatingCountry() == cc {
 			orgIDs = append(orgIDs, ds.Organizations[i].OrgID)
 		}
 	}
+	sort.Strings(orgIDs)
+	var minority []expand.MinorityRecord
 	for _, m := range ds.Minority {
 		if m.CC == cc {
-			minorityOrgs = append(minorityOrgs, m.OrgName)
+			minority = append(minority, m)
 		}
+	}
+	sort.Slice(minority, func(a, b int) bool { return serve.MinorityLess(&minority[a], &minority[b]) })
+	for _, m := range minority {
+		minorityOrgs = append(minorityOrgs, m.OrgName)
 	}
 	return orgIDs, minorityOrgs
 }
