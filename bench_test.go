@@ -28,6 +28,7 @@ import (
 	"stateowned/internal/expand"
 	"stateowned/internal/eyeballs"
 	"stateowned/internal/geo"
+	"stateowned/internal/graph"
 	"stateowned/internal/ownership"
 	"stateowned/internal/serve"
 	"stateowned/internal/topology"
@@ -482,6 +483,100 @@ func BenchmarkServeASN(b *testing.B) {
 		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
 			b.Fatalf("status %d", resp.StatusCode)
 		}
+	}
+}
+
+// --- Graph query-plane benchmarks -------------------------------------------
+
+// graphBenchState caches one substrate per scale — the topology, monitor
+// set and org mapping graph.Build consumes, plus one compiled graph for
+// the lookup benches and a probe set spread across the AS space. Worlds
+// at scale 2.0 take tens of seconds to generate, so all three graph
+// benchmarks at a given scale share it.
+type graphBenchState struct {
+	topo     *topology.Graph
+	monitors []bgp.Monitor
+	orgs     *as2org.Mapping
+	graph    *graph.Graph
+	probes   []world.ASN
+}
+
+var (
+	graphBenchMu    sync.Mutex
+	graphBenchCache = map[float64]*graphBenchState{}
+)
+
+func graphBenchSetup(b *testing.B, scale float64) *graphBenchState {
+	b.Helper()
+	graphBenchMu.Lock()
+	defer graphBenchMu.Unlock()
+	if s, ok := graphBenchCache[scale]; ok {
+		return s
+	}
+	w := world.Generate(world.Config{Seed: 42, Scale: scale})
+	topo := topology.Build(w, topology.FinalYear)
+	s := &graphBenchState{
+		topo:     topo,
+		monitors: bgp.SelectMonitors(w, topo, 0),
+		orgs:     as2org.Infer(whois.Build(w)),
+	}
+	s.graph = graph.Build(s.topo, s.monitors, s.orgs, 0)
+	n := topo.NumASes()
+	step := n/256 + 1
+	for i := 0; i < n; i += step {
+		s.probes = append(s.probes, topo.ASNAt(i))
+	}
+	graphBenchCache[scale] = s
+	return s
+}
+
+// BenchmarkGraphBuild measures compiling the whole relationship index —
+// classed adjacency, cone closure and the per-origin dependency
+// propagation, which dominates. This is the price a snapshot generation
+// pays at build/stage time so that /v1/graph/* never computes on the
+// request path. Scale 2.0 iterations run minutes; select this bench
+// explicitly with -benchtime=1x rather than via -bench=. on a slow
+// machine.
+func BenchmarkGraphBuild(b *testing.B) {
+	for _, scale := range benchRunScales {
+		b.Run(fmt.Sprintf("scale%.1f", scale), func(b *testing.B) {
+			s := graphBenchSetup(b, scale)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				graph.Build(s.topo, s.monitors, s.orgs, 0)
+			}
+		})
+	}
+}
+
+// BenchmarkConeLookup measures one customer-cone answer through the
+// precomputed graph — what /v1/graph/cone/{asn} costs per request.
+// Compare with BenchmarkNaiveConeTraversal, the on-demand BFS it
+// displaced (EXPERIMENTS.md records the ratio).
+func BenchmarkConeLookup(b *testing.B) {
+	for _, scale := range benchRunScales {
+		b.Run(fmt.Sprintf("scale%.1f", scale), func(b *testing.B) {
+			s := graphBenchSetup(b, scale)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.graph.ConeSize(s.probes[i%len(s.probes)])
+			}
+		})
+	}
+}
+
+// BenchmarkNaiveConeTraversal is the displaced implementation: the BFS
+// over customer edges that topology.ConeSize runs per question, the way
+// cmd/query answered cone queries before the graph plane existed.
+func BenchmarkNaiveConeTraversal(b *testing.B) {
+	for _, scale := range benchRunScales {
+		b.Run(fmt.Sprintf("scale%.1f", scale), func(b *testing.B) {
+			s := graphBenchSetup(b, scale)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.topo.ConeSize(s.probes[i%len(s.probes)])
+			}
+		})
 	}
 }
 

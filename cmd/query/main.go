@@ -1,36 +1,48 @@
 // Command query answers the questions a downstream user asks of the
-// dataset: is this ASN state-owned, by whom, on what evidence; and what
-// does the state own in a given country. It is a thin client of the
-// serving index (internal/serve) — the same lookup structures cmd/serve
-// exposes over HTTP — so answers come from O(1) index lookups, not
-// linear dataset scans.
+// dataset: is this ASN state-owned, by whom, on what evidence; what
+// does the state own in a given country; and the relational questions
+// behind the /v1/graph/* plane — who neighbors an AS and in what role,
+// which transits its observed paths depend on, what its customer cone
+// contains, and the valley-free route between two ASes. It is a thin
+// client of the serving index (internal/serve) and the compiled
+// relationship graph (internal/graph) — the same structures cmd/serve
+// exposes over HTTP — so answers come from O(result) lookups, not
+// on-demand traversals.
 //
 // Usage:
 //
 //	query [-seed N] [-scale F] [-gen N] -asn 7473
 //	query [-seed N] [-scale F] [-gen N] -country AO
 //	query [-seed N] [-scale F] -shards 4 -asn 7473
+//	query [-seed N] [-scale F] -neighbors 7473 [-class provider]
+//	query [-seed N] [-scale F] -upstreams 7473
+//	query [-seed N] [-scale F] -cone 7473
+//	query [-seed N] [-scale F] -path 7473:3356
 //
-// -asn and -country are mutually exclusive. -gen N answers from dataset
-// generation N — the world aged N steps under the seeded ownership-churn
-// model, rebuilt through the full pipeline — matching what a cmd/serve
-// instance with the same seeds serves for ?gen=N.
+// The query modes (-asn, -country, -neighbors, -upstreams, -cone,
+// -path) are mutually exclusive — pick exactly one. -gen N answers
+// from dataset generation N — the world aged N steps under the seeded
+// ownership-churn model, rebuilt through the full pipeline — matching
+// what a cmd/serve instance with the same seeds serves for ?gen=N.
 //
 // -shards N is the fleet diagnostic: alongside the -asn answer it
 // prints which shard of an N-shard fleet owns the ASN, computed from
 // the same partition function a `serve -mode shard` fleet carves with.
-// It only makes sense per-ASN, so combining it with -country is an
-// error (a country's ASes span shards; ask the router).
+// It only makes sense per-ASN, so combining it with any other mode is
+// an error (graph answers are global; a country's ASes span shards).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"stateowned"
 	"stateowned/internal/expand"
 	"stateowned/internal/fleet"
+	"stateowned/internal/graph"
 	"stateowned/internal/report"
 	"stateowned/internal/serve"
 	"stateowned/internal/snapshot"
@@ -42,10 +54,21 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "world scale")
 	asn := flag.Uint64("asn", 0, "look up one ASN")
 	country := flag.String("country", "", "list a country's state-owned ASes")
+	neighbors := flag.Uint64("neighbors", 0, "list an ASN's relationship-classed neighbors")
+	class := flag.String("class", "", "restrict -neighbors to one class (provider, customer, peer or sibling)")
+	upstreams := flag.Uint64("upstreams", 0, "rank the transits an ASN's observed paths depend on")
+	cone := flag.Uint64("cone", 0, "print an ASN's transitive customer cone")
+	pathPair := flag.String("path", "", "valley-free shortest path between two ASNs, as FROM:TO")
 	gen := flag.Int("gen", 0, "dataset generation to answer from (0 = the pristine build)")
 	shards := flag.Int("shards", 0, "fleet diagnostic: also print which shard of an N-shard fleet owns -asn (0 = off)")
 	churnSeed := flag.Uint64("churn-seed", 0, "ownership-churn schedule seed (0 = derive from -seed)")
 	flag.Parse()
+	modes := 0
+	for _, on := range []bool{*asn != 0, *country != "", *neighbors != 0, *upstreams != 0, *cone != 0, *pathPair != ""} {
+		if on {
+			modes++
+		}
+	}
 	switch {
 	case *scale <= 0:
 		fmt.Fprintln(os.Stderr, "query: invalid -scale: must be > 0")
@@ -53,25 +76,45 @@ func main() {
 	case *gen < 0:
 		fmt.Fprintln(os.Stderr, "query: invalid -gen: must be >= 0")
 		os.Exit(2)
-	case *asn == 0 && *country == "":
-		fmt.Fprintln(os.Stderr, "query: need -asn or -country")
+	case modes == 0:
+		fmt.Fprintln(os.Stderr, "query: need one of -asn, -country, -neighbors, -upstreams, -cone or -path")
 		os.Exit(2)
-	case *asn != 0 && *country != "":
-		fmt.Fprintln(os.Stderr, "query: -asn and -country are mutually exclusive")
+	case modes > 1:
+		fmt.Fprintln(os.Stderr, "query: -asn, -country, -neighbors, -upstreams, -cone and -path are mutually exclusive; pick one query mode")
+		os.Exit(2)
+	case *class != "" && *neighbors == 0:
+		fmt.Fprintln(os.Stderr, "query: -class only applies to -neighbors")
 		os.Exit(2)
 	case *shards < 0 || *shards > fleet.MaxShards:
 		fmt.Fprintf(os.Stderr, "query: invalid -shards: must be in [0, %d]\n", fleet.MaxShards)
 		os.Exit(2)
-	case *shards > 0 && *country != "":
-		fmt.Fprintln(os.Stderr, "query: -shards is a per-ASN diagnostic; a country's ASes span shards")
+	case *shards > 0 && *asn == 0:
+		fmt.Fprintln(os.Stderr, "query: -shards is a per-ASN diagnostic; use it with -asn")
 		os.Exit(2)
+	}
+	cls := graph.Provider
+	if *class != "" {
+		var ok bool
+		if cls, ok = graph.ParseClass(*class); !ok {
+			fmt.Fprintf(os.Stderr, "query: unknown -class %q (want provider, customer, peer or sibling)\n", *class)
+			os.Exit(2)
+		}
+	}
+	var from, to world.ASN
+	if *pathPair != "" {
+		var ok bool
+		if from, to, ok = parsePathPair(*pathPair); !ok {
+			fmt.Fprintf(os.Stderr, "query: invalid -path %q: want FROM:TO ASNs\n", *pathPair)
+			os.Exit(2)
+		}
 	}
 
 	var idx *serve.Index
 	var ds *expand.Dataset
+	var graphOf func() *graph.Graph
 	if *gen == 0 && *churnSeed == 0 {
 		res := stateowned.Run(stateowned.Config{Seed: *seed, Scale: *scale})
-		idx, ds = res.Index(), res.Dataset
+		idx, ds, graphOf = res.Index(), res.Dataset, res.Graph
 	} else {
 		// A churned generation: the snapshot store rebuilds the world
 		// through -gen seeded churn steps, exactly what a cmd/serve
@@ -89,17 +132,40 @@ func main() {
 			fmt.Fprintf(os.Stderr, "query: generation %d unavailable\n", *gen)
 			os.Exit(2)
 		}
-		idx, ds = g.Index, g.Result.Dataset
+		idx, ds, graphOf = g.Index, g.Result.Dataset, g.Result.Graph
 	}
 
-	if *asn != 0 {
+	switch {
+	case *asn != 0:
 		queryASN(idx, world.ASN(*asn))
 		if *shards > 0 {
 			queryShard(ds, *shards, world.ASN(*asn))
 		}
-		return
+	case *country != "":
+		queryCountry(idx, *country)
+	case *neighbors != 0:
+		queryNeighbors(graphOf(), world.ASN(*neighbors), *class != "", cls)
+	case *upstreams != 0:
+		queryUpstreams(graphOf(), world.ASN(*upstreams))
+	case *cone != 0:
+		queryCone(graphOf(), world.ASN(*cone))
+	default:
+		queryPath(graphOf(), from, to)
 	}
-	queryCountry(idx, *country)
+}
+
+// parsePathPair splits a FROM:TO flag value into two ASNs.
+func parsePathPair(s string) (from, to world.ASN, ok bool) {
+	a, b, found := strings.Cut(s, ":")
+	if !found {
+		return 0, 0, false
+	}
+	fn, errA := strconv.ParseUint(a, 10, 32)
+	tn, errB := strconv.ParseUint(b, 10, 32)
+	if errA != nil || errB != nil || fn == 0 || tn == 0 {
+		return 0, 0, false
+	}
+	return world.ASN(fn), world.ASN(tn), true
 }
 
 func queryASN(idx *serve.Index, target world.ASN) {
@@ -177,4 +243,74 @@ func queryCountry(idx *serve.Index, cc string) {
 		}
 		fmt.Println(mt.String())
 	}
+}
+
+// notInTopology is the shared not-found answer of the graph modes.
+func notInTopology(g *graph.Graph, target world.ASN) bool {
+	if g.Active(target) {
+		return false
+	}
+	fmt.Printf("AS%d is not in the topology\n", target)
+	return true
+}
+
+func queryNeighbors(g *graph.Graph, target world.ASN, filtered bool, cls graph.Class) {
+	if notInTopology(g, target) {
+		return
+	}
+	if filtered {
+		ns, _ := g.Neighbors(target, cls)
+		fmt.Printf("AS%d has %d %s neighbors: %v\n", target, len(ns), cls, ns)
+		return
+	}
+	fmt.Printf("AS%d neighbors:\n", target)
+	for _, c := range graph.Classes() {
+		ns, _ := g.Neighbors(target, c)
+		fmt.Printf("  %-9s %4d  %v\n", c.String()+":", len(ns), ns)
+	}
+}
+
+func queryUpstreams(g *graph.Graph, target world.ASN) {
+	if notInTopology(g, target) {
+		return
+	}
+	deps, _ := g.Upstreams(target)
+	total := g.PathsObserved(target)
+	if len(deps) == 0 {
+		fmt.Printf("AS%d: no transit dependencies observed (%d monitor paths, %d monitors)\n",
+			target, total, g.NumMonitors())
+		return
+	}
+	t := report.NewTable(fmt.Sprintf("Transit dependencies of AS%d (%d paths from %d monitors)",
+		target, total, g.NumMonitors()),
+		"transit ASN", "paths", "score")
+	for _, d := range deps {
+		t.AddRow(uint32(d.Transit), d.Paths, fmt.Sprintf("%.3f", d.Score))
+	}
+	fmt.Println(t.String())
+}
+
+func queryCone(g *graph.Graph, target world.ASN) {
+	if notInTopology(g, target) {
+		return
+	}
+	members := g.Cone(target)
+	fmt.Printf("AS%d customer cone: %d ASes\n", target, len(members))
+	fmt.Printf("  %v\n", members)
+}
+
+func queryPath(g *graph.Graph, from, to world.ASN) {
+	if notInTopology(g, from) || notInTopology(g, to) {
+		return
+	}
+	p := g.Path(from, to)
+	if p == nil {
+		fmt.Printf("no valley-free path from AS%d to AS%d\n", from, to)
+		return
+	}
+	hops := make([]string, len(p))
+	for i, a := range p {
+		hops[i] = fmt.Sprintf("AS%d", a)
+	}
+	fmt.Printf("valley-free path (%d hops): %s\n", len(p)-1, strings.Join(hops, " -> "))
 }

@@ -1,0 +1,140 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"stateowned"
+	"stateowned/internal/serve"
+	"stateowned/internal/snapshot"
+	"stateowned/internal/world"
+)
+
+// graphProbePaths builds the request set the byte-identity check
+// replays: every /v1/graph/* endpoint, hit ASNs and missing ASNs,
+// class filters (valid and not), path pairs, and malformed parameters —
+// error envelopes must match byte-for-byte too.
+func graphProbePaths(asns []world.ASN) []string {
+	paths := []string{
+		"/v1/graph/neighbors/notanumber",
+		"/v1/graph/neighbors/4294967294",
+		"/v1/graph/upstreams/4294967294",
+		"/v1/graph/cone/4294967294",
+		"/v1/graph/path",
+		"/v1/graph/path?from=1&to=bogus",
+	}
+	for _, a := range asns {
+		paths = append(paths,
+			fmt.Sprintf("/v1/graph/neighbors/%d", a),
+			fmt.Sprintf("/v1/graph/neighbors/%d?class=provider", a),
+			fmt.Sprintf("/v1/graph/neighbors/%d?class=sibling", a),
+			fmt.Sprintf("/v1/graph/neighbors/%d?class=transit", a),
+			fmt.Sprintf("/v1/graph/upstreams/%d", a),
+			fmt.Sprintf("/v1/graph/cone/%d", a),
+		)
+	}
+	for i := 0; i+1 < len(asns); i++ {
+		paths = append(paths, fmt.Sprintf("/v1/graph/path?from=%d&to=%d", asns[i], asns[i+1]))
+	}
+	return paths
+}
+
+// singleGet replays a path against the single-process reference server.
+func singleGet(srv *serve.Server, path string) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec
+}
+
+// TestGraphByteIdentityAcrossShardCounts is the fleet acceptance check:
+// every /v1/graph/* answer — bodies, statuses and X-Generation — must
+// be byte-identical between a single-process server and 1-, 2- and
+// 4-shard router fleets, for each seed, including pinned generations
+// and after two two-phase flips.
+func TestGraphByteIdentityAcrossShardCounts(t *testing.T) {
+	seeds := []uint64{7, 21, 42}
+	shardCounts := []int{1, 2, 4}
+	if testing.Short() {
+		seeds = seeds[len(seeds)-1:]
+		shardCounts = []int{2}
+	}
+	const scale = 0.05
+	for _, seed := range seeds {
+		// The single-process reference: the same snapshot store a
+		// cmd/serve instance would run.
+		refStore := snapshot.New(snapshot.Options{
+			Base:   stateowned.Config{Seed: seed, Scale: scale},
+			Retain: 8,
+		})
+		ref := serve.NewDynamic(refStore.Source(), serve.Options{})
+
+		topo := refStore.Current().Result.Topology
+		n := topo.NumASes()
+		asns := []world.ASN{topo.ASNAt(0), topo.ASNAt(n / 2), topo.ASNAt(n - 1)}
+		probes := graphProbePaths(asns)
+
+		// All fleets share the one reference, so they advance in step with
+		// it: compare everything at generation 0, then flip everything
+		// twice, then compare again (pinned replays included).
+		fleets := make([]*testFleet, len(shardCounts))
+		for i, shards := range shardCounts {
+			fleets[i] = buildFleet(t, fleetConfig{seed: seed, scale: scale, shards: shards, retain: 8})
+		}
+		compare := func(stage string, paths []string) {
+			t.Helper()
+			for i, tf := range fleets {
+				for _, path := range paths {
+					want := singleGet(ref, path)
+					got := tf.get(path)
+					if got.Code != want.Code {
+						t.Fatalf("seed %d, %d shards, %s: GET %s status %d, single-process %d",
+							seed, shardCounts[i], stage, path, got.Code, want.Code)
+					}
+					if got.Body.String() != want.Body.String() {
+						t.Fatalf("seed %d, %d shards, %s: GET %s body diverged:\n fleet: %s\nsingle: %s",
+							seed, shardCounts[i], stage, path, got.Body, want.Body)
+					}
+					if g, w := got.Header().Get(serve.GenerationHeader), want.Header().Get(serve.GenerationHeader); g != w {
+						t.Fatalf("seed %d, %d shards, %s: GET %s X-Generation %q, single-process %q",
+							seed, shardCounts[i], stage, path, g, w)
+					}
+				}
+			}
+		}
+		compare("generation 0", probes)
+
+		// Two two-phase flips: the reference store advances in step with
+		// every fleet's coordinator.
+		for flip := 1; flip <= 2; flip++ {
+			if g := refStore.Advance(); g == nil {
+				t.Fatalf("seed %d: reference store quarantined generation %d", seed, flip)
+			}
+			for i, tf := range fleets {
+				gen, err := tf.coord.FlipOnce(context.Background())
+				if err != nil {
+					t.Fatalf("seed %d, %d shards: flip %d: %v", seed, shardCounts[i], flip, err)
+				}
+				if gen != flip {
+					t.Fatalf("seed %d, %d shards: flip %d landed on generation %d", seed, shardCounts[i], flip, gen)
+				}
+			}
+		}
+		compare("after two flips", probes)
+
+		// Pinned replays: explicit ?gen= must time-travel identically,
+		// and a malformed pin must produce the identical 400 envelope.
+		a := asns[0]
+		pinned := []string{
+			fmt.Sprintf("/v1/graph/cone/%d?gen=0", a),
+			fmt.Sprintf("/v1/graph/upstreams/%d?gen=1", a),
+			fmt.Sprintf("/v1/graph/neighbors/%d?gen=2&class=customer", a),
+			fmt.Sprintf("/v1/graph/cone/%d?gen=99", a),
+			fmt.Sprintf("/v1/graph/cone/%d?gen=abc", a),
+			fmt.Sprintf("/v1/graph/path?from=%d&to=%d&gen=0", a, asns[1]),
+		}
+		compare("pinned generations", pinned)
+	}
+}

@@ -201,6 +201,18 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 	rt.mux.HandleFunc("GET /v1/search", rt.handle(rt.handleSearch))
 	rt.mux.HandleFunc("GET /v1/dataset", rt.handle(rt.handleDataset))
 	rt.mux.HandleFunc("GET /v1/diff", rt.handle(rt.handleDiff))
+	rt.mux.HandleFunc("GET /v1/graph/neighbors/{asn}", rt.handle(func(r *http.Request) routerResponse {
+		return rt.handleGraph(r, "/v1/graph/neighbors/"+url.PathEscape(r.PathValue("asn")))
+	}))
+	rt.mux.HandleFunc("GET /v1/graph/upstreams/{asn}", rt.handle(func(r *http.Request) routerResponse {
+		return rt.handleGraph(r, "/v1/graph/upstreams/"+url.PathEscape(r.PathValue("asn")))
+	}))
+	rt.mux.HandleFunc("GET /v1/graph/cone/{asn}", rt.handle(func(r *http.Request) routerResponse {
+		return rt.handleGraph(r, "/v1/graph/cone/"+url.PathEscape(r.PathValue("asn")))
+	}))
+	rt.mux.HandleFunc("GET /v1/graph/path", rt.handle(func(r *http.Request) routerResponse {
+		return rt.handleGraph(r, "/v1/graph/path")
+	}))
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	rt.mux.HandleFunc("GET /readyz", rt.handleReadyz)
 	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
@@ -596,6 +608,36 @@ func (rt *Router) handleDiff(r *http.Request) routerResponse {
 	l, failed := rt.anyShard(r.Context(), path, "")
 	if l.err != nil {
 		resp := errRouterResponse(http.StatusServiceUnavailable, "no shard could serve the diff")
+		resp.shardsFailed = failed
+		resp.retryAfter = 1
+		return resp
+	}
+	return routerResponse{status: l.status, body: l.body, gen: l.gen, retryAfter: l.retryAfter}
+}
+
+// handleGraph routes one /v1/graph/* query to any healthy shard's full
+// plane — graph answers are global (relationships cross partition
+// boundaries), so they must never be range-carved; every shard holds
+// the identical compiled graph. When the client did not pin a
+// generation the router pins its committed fleet generation, so a
+// two-phase flip mid-request cannot mix generations. An explicit ?gen=
+// (even a malformed or empty one) passes through raw: the shard's own
+// pinning makes the answer deterministic, and its error envelopes stay
+// byte-identical to single-process serving.
+func (rt *Router) handleGraph(r *http.Request, subpath string) routerResponse {
+	q := r.URL.Query()
+	pin := ""
+	if _, ok := q["gen"]; !ok {
+		pin = strconv.Itoa(rt.Gen())
+		q.Set("gen", pin)
+	}
+	path := FullPrefix + subpath
+	if enc := q.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	l, failed := rt.anyShard(r.Context(), path, pin)
+	if l.err != nil {
+		resp := errRouterResponse(http.StatusServiceUnavailable, "no shard could serve the graph query")
 		resp.shardsFailed = failed
 		resp.retryAfter = 1
 		return resp

@@ -237,6 +237,11 @@ func (ss *shardSource) carve(g *snapshot.Generation) *serve.View {
 		Index:      serve.BuildIndex(sub),
 		Health:     full.Health,
 		Provenance: full.Provenance,
+		// The graph is global (relationships cross partition boundaries)
+		// and immutable, so the carved plane shares the generation's
+		// compiled graph rather than carving it: a shard queried directly
+		// answers graph queries exactly as the full plane does.
+		Graph: full.Graph,
 	}
 	ss.carved[g.Gen] = v
 	return v

@@ -1,0 +1,292 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+
+	"stateowned/internal/as2org"
+	"stateowned/internal/bgp"
+	"stateowned/internal/graph"
+	"stateowned/internal/topology"
+	"stateowned/internal/whois"
+	"stateowned/internal/world"
+)
+
+// testGraph compiles one small real relationship graph for the HTTP
+// tests, memoized across the package (the build runs a propagation per
+// AS).
+var testGraphOnce = sync.OnceValues(func() (*graph.Graph, *topology.Graph) {
+	w := world.Generate(world.Config{Seed: 42, Scale: 0.05})
+	topo := topology.Build(w, topology.FinalYear)
+	return graph.Build(topo, bgp.SelectMonitors(w, topo, 0), as2org.Infer(whois.Build(w)), 0), topo
+})
+
+// graphServer builds a generational server whose views carry the test
+// graph: generation 3 live, generation 2 retained, older evicted.
+func graphServer() (*Server, world.ASN) {
+	g, topo := testGraphOnce()
+	src := &fakeSource{
+		views: map[int]*View{
+			2: {Gen: 2, Index: BuildIndex(fixtureDataset()), Graph: g},
+			3: {Gen: 3, Index: BuildIndex(gen1Dataset()), Graph: g},
+		},
+		current: 3,
+		oldest:  2,
+	}
+	return NewDynamic(src, Options{CacheSize: 32}), topo.ASNAt(0)
+}
+
+func getJSON(t *testing.T, srv *Server, target string, into any) *httptest.ResponseRecorder {
+	t.Helper()
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, httptest.NewRequest(http.MethodGet, target, nil))
+	if into != nil {
+		if err := json.Unmarshal(w.Body.Bytes(), into); err != nil {
+			t.Fatalf("GET %s: unmarshal: %v (body %q)", target, err, w.Body)
+		}
+	}
+	return w
+}
+
+// TestASNListCanonicalRendering is the shared-renderer regression test:
+// ASNList must render sorted, deduplicated and never null, and a
+// sorted input must render byte-identically to the plain []world.ASN
+// encoding it replaced (so adopting it on /v1/org changed no bytes).
+func TestASNListCanonicalRendering(t *testing.T) {
+	cases := []struct {
+		in   ASNList
+		want string
+	}{
+		{nil, "[]"},
+		{ASNList{}, "[]"},
+		{ASNList{42}, "[42]"},
+		{ASNList{30, 10, 20, 10}, "[10,20,30]"},
+	}
+	for _, c := range cases {
+		got, err := json.Marshal(c.in)
+		if err != nil {
+			t.Fatalf("Marshal(%v): %v", c.in, err)
+		}
+		if string(got) != c.want {
+			t.Fatalf("Marshal(%v) = %s, want %s", c.in, got, c.want)
+		}
+	}
+
+	// Nested in an indented envelope, a sorted ASNList is byte-identical
+	// to the []world.ASN rendering of the same slice — the /v1/org wire
+	// format did not move when it adopted the shared renderer.
+	sorted := []world.ASN{7, 21, 42}
+	asList, err := JSONBody(struct {
+		ASNs ASNList `json:"asn"`
+	}{ASNList(sorted)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asPlain, err := JSONBody(struct {
+		ASNs []world.ASN `json:"asn"`
+	}{sorted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(asList) != string(asPlain) {
+		t.Fatalf("sorted ASNList rendering diverged from []world.ASN:\n%s\nvs\n%s", asList, asPlain)
+	}
+}
+
+// TestOrgAndConeShareRenderer pins that the /v1/org membership list and
+// the /v1/graph/cone member list are the same canonical form: same
+// type, same bytes for the same set.
+func TestOrgAndConeShareRenderer(t *testing.T) {
+	set := []world.ASN{99, 7, 7, 50}
+	org, err := json.Marshal(OrgResponse{ASNs: ASNList(set)}.ASNs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cone, err := json.Marshal(GraphConeResponse{Members: ASNList(set)}.Members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(org) != string(cone) || string(org) != "[7,50,99]" {
+		t.Fatalf("renderers drifted: org %s, cone %s, want [7,50,99]", org, cone)
+	}
+}
+
+func TestGraphEndpoints(t *testing.T) {
+	srv, asn := graphServer()
+	g, _ := testGraphOnce()
+
+	var nb GraphNeighborsResponse
+	w := getJSON(t, srv, fmt.Sprintf("/v1/graph/neighbors/%d", asn), &nb)
+	if w.Code != http.StatusOK {
+		t.Fatalf("neighbors: status %d (body %q)", w.Code, w.Body)
+	}
+	if w.Header().Get(GenerationHeader) != "3" {
+		t.Fatalf("neighbors: X-Generation %q, want 3", w.Header().Get(GenerationHeader))
+	}
+	if nb.ASN != asn {
+		t.Fatalf("neighbors: echoed ASN %d, want %d", nb.ASN, asn)
+	}
+	provs, _ := g.Neighbors(asn, graph.Provider)
+	if len(nb.Providers) != len(provs) {
+		t.Fatalf("neighbors: %d providers, want %d", len(nb.Providers), len(provs))
+	}
+
+	var cl GraphNeighborClassResponse
+	w = getJSON(t, srv, fmt.Sprintf("/v1/graph/neighbors/%d?class=Provider", asn), &cl)
+	if w.Code != http.StatusOK || cl.Class != "provider" || cl.Count != len(provs) {
+		t.Fatalf("class filter: status %d, class %q, count %d (want provider/%d)", w.Code, cl.Class, cl.Count, len(provs))
+	}
+
+	var up GraphUpstreamsResponse
+	w = getJSON(t, srv, fmt.Sprintf("/v1/graph/upstreams/%d", asn), &up)
+	if w.Code != http.StatusOK {
+		t.Fatalf("upstreams: status %d", w.Code)
+	}
+	if up.PathsObserved != g.PathsObserved(asn) || up.Monitors != g.NumMonitors() {
+		t.Fatalf("upstreams: observed %d/%d, want %d/%d", up.PathsObserved, up.Monitors, g.PathsObserved(asn), g.NumMonitors())
+	}
+	if up.Upstreams == nil {
+		t.Fatal("upstreams: null list (want [] at minimum)")
+	}
+
+	var cone GraphConeResponse
+	w = getJSON(t, srv, fmt.Sprintf("/v1/graph/cone/%d", asn), &cone)
+	if w.Code != http.StatusOK || cone.Size != g.ConeSize(asn) || len(cone.Members) != cone.Size {
+		t.Fatalf("cone: status %d, size %d, members %d (want size %d)", w.Code, cone.Size, len(cone.Members), g.ConeSize(asn))
+	}
+
+	var p GraphPathResponse
+	w = getJSON(t, srv, fmt.Sprintf("/v1/graph/path?from=%d&to=%d", asn, asn), &p)
+	if w.Code != http.StatusOK || !p.Found || p.Hops != 0 || len(p.Path) != 1 {
+		t.Fatalf("self path: status %d, body %+v", w.Code, p)
+	}
+
+	// ?gen= pinning resolves the retained generation and stamps the
+	// header; the graph is per-view, so the answer still comes from a
+	// compiled graph.
+	w = getJSON(t, srv, fmt.Sprintf("/v1/graph/cone/%d?gen=2", asn), nil)
+	if w.Code != http.StatusOK || w.Header().Get(GenerationHeader) != "2" {
+		t.Fatalf("pinned cone: status %d, gen %q", w.Code, w.Header().Get(GenerationHeader))
+	}
+}
+
+func TestGraphEndpointErrors(t *testing.T) {
+	srv, asn := graphServer()
+	assertErrEnvelope := func(target string, wantStatus int) {
+		t.Helper()
+		var e ErrorBody
+		w := getJSON(t, srv, target, &e)
+		if w.Code != wantStatus {
+			t.Fatalf("GET %s: status %d, want %d (body %q)", target, w.Code, wantStatus, w.Body)
+		}
+		if e.Status != wantStatus || e.Error == "" {
+			t.Fatalf("GET %s: envelope %+v does not match status %d", target, e, wantStatus)
+		}
+	}
+	assertErrEnvelope("/v1/graph/neighbors/notanumber", http.StatusBadRequest)
+	assertErrEnvelope("/v1/graph/neighbors/0", http.StatusBadRequest)
+	assertErrEnvelope(fmt.Sprintf("/v1/graph/neighbors/%d?class=transit", asn), http.StatusBadRequest)
+	assertErrEnvelope("/v1/graph/neighbors/4294967294", http.StatusNotFound)
+	assertErrEnvelope("/v1/graph/upstreams/4294967294", http.StatusNotFound)
+	assertErrEnvelope("/v1/graph/cone/4294967294", http.StatusNotFound)
+	assertErrEnvelope("/v1/graph/path", http.StatusBadRequest)
+	assertErrEnvelope(fmt.Sprintf("/v1/graph/path?from=%d", asn), http.StatusBadRequest)
+	assertErrEnvelope(fmt.Sprintf("/v1/graph/path?from=%d&to=bogus", asn), http.StatusBadRequest)
+	assertErrEnvelope(fmt.Sprintf("/v1/graph/path?from=4294967294&to=%d", asn), http.StatusNotFound)
+	assertErrEnvelope(fmt.Sprintf("/v1/graph/cone/%d?gen=99", asn), http.StatusNotFound)
+	assertErrEnvelope(fmt.Sprintf("/v1/graph/cone/%d?gen=1", asn), http.StatusGone)
+
+	// A static index-only source compiles no graph: the whole plane
+	// answers 404 with the envelope.
+	static := New(BuildIndex(fixtureDataset()), Options{})
+	var e ErrorBody
+	w := httptest.NewRecorder()
+	static.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/graph/cone/100", nil))
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
+		t.Fatalf("static graph answer not JSON: %v", err)
+	}
+	if w.Code != http.StatusNotFound || e.Status != http.StatusNotFound {
+		t.Fatalf("static source: status %d, envelope %+v (want 404 unavailable)", w.Code, e)
+	}
+}
+
+// TestGraphNeighborsCacheKeyClass pins that the ?class= filter is part
+// of the cache's canonical form: the filtered and unfiltered answers
+// must not collide.
+func TestGraphNeighborsCacheKeyClass(t *testing.T) {
+	srv, asn := graphServer()
+	var full GraphNeighborsResponse
+	getJSON(t, srv, fmt.Sprintf("/v1/graph/neighbors/%d", asn), &full)
+	var filtered GraphNeighborClassResponse
+	getJSON(t, srv, fmt.Sprintf("/v1/graph/neighbors/%d?class=peer", asn), &filtered)
+	if filtered.Class != "peer" {
+		t.Fatalf("filtered answer came from the wrong cache entry: %+v", filtered)
+	}
+	// Equivalent spellings share one entry: the second request hits.
+	before := srv.CacheStats().Hits
+	var again GraphNeighborClassResponse
+	getJSON(t, srv, fmt.Sprintf("/v1/graph/neighbors/%d?class=PEER", asn), &again)
+	if srv.CacheStats().Hits != before+1 {
+		t.Fatalf("case-insensitive class spelling missed the cache (hits %d -> %d)", before, srv.CacheStats().Hits)
+	}
+}
+
+// FuzzGraphParams drives the whole /v1/graph/* parameter surface — ASN
+// path segments, class filters, from/to pairs, and ?gen= interplay —
+// asserting the unified error envelope on every non-200: whatever the
+// inputs, a non-200 answer is ErrorBody JSON whose Status echoes the
+// HTTP code.
+func FuzzGraphParams(f *testing.F) {
+	for _, s := range []string{
+		"100", "0", "007", "4294967295", "4294967296", "-1", "+1",
+		"abc", "", " ", "provider", "customer", "peer", "sibling",
+		"PROVIDER", "transit", "1e3", "0x64", "\x00", "２",
+		strings.Repeat("9", 300), "null", "..",
+	} {
+		f.Add(s, s, s)
+	}
+
+	srv, _ := graphServer()
+	f.Fuzz(func(t *testing.T, a, b, c string) {
+		targets := []string{
+			"/v1/graph/neighbors/" + url.PathEscape(a) + "?class=" + url.QueryEscape(b),
+			"/v1/graph/upstreams/" + url.PathEscape(a) + "?gen=" + url.QueryEscape(c),
+			"/v1/graph/cone/" + url.PathEscape(a),
+			"/v1/graph/path?from=" + url.QueryEscape(a) + "&to=" + url.QueryEscape(b) + "&gen=" + url.QueryEscape(c),
+		}
+		for _, target := range targets {
+			if _, err := url.ParseRequestURI(target); err != nil {
+				continue
+			}
+			w := httptest.NewRecorder()
+			srv.ServeHTTP(w, httptest.NewRequest(http.MethodGet, target, nil))
+			if w.Code == http.StatusMovedPermanently {
+				continue // stdlib mux canonicalizes dot segments with a redirect
+			}
+			if !json.Valid(w.Body.Bytes()) {
+				t.Fatalf("GET %q: invalid JSON body %q", target, w.Body)
+			}
+			if w.Code == http.StatusOK {
+				continue
+			}
+			switch w.Code {
+			case http.StatusBadRequest, http.StatusNotFound, http.StatusGone:
+			default:
+				t.Fatalf("GET %q: unexpected status %d (body %q)", target, w.Code, w.Body)
+			}
+			var e ErrorBody
+			if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
+				t.Fatalf("GET %q: non-200 body is not the error envelope: %v (body %q)", target, err, w.Body)
+			}
+			if e.Status != w.Code || e.Error == "" {
+				t.Fatalf("GET %q: envelope %+v does not echo status %d", target, e, w.Code)
+			}
+		}
+	})
+}

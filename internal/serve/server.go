@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"stateowned/internal/churn"
@@ -167,10 +168,11 @@ func NewDynamic(src Source, opts Options) *Server {
 	s.budgets = map[string]time.Duration{}
 	if b := opts.RequestTimeout; b > 0 {
 		tight := b / 2
-		for _, e := range []string{"/v1/asn", "/v1/country", "/v1/org", "/v1/dataset", "other"} {
+		for _, e := range []string{"/v1/asn", "/v1/country", "/v1/org", "/v1/dataset",
+			"/v1/graph/neighbors", "/v1/graph/upstreams", "/v1/graph/cone", "other"} {
 			s.budgets[e] = b
 		}
-		for _, e := range []string{"/v1/search", "/v1/diff"} {
+		for _, e := range []string{"/v1/search", "/v1/diff", "/v1/graph/path"} {
 			s.budgets[e] = tight
 		}
 	}
@@ -182,6 +184,10 @@ func NewDynamic(src Source, opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/org/{id}", s.handle("/v1/org", true, s.viewHandler("/v1/org", s.handleOrg)))
 	s.mux.HandleFunc("GET /v1/search", s.handle("/v1/search", true, s.viewHandler("/v1/search", s.handleSearch)))
 	s.mux.HandleFunc("GET /v1/dataset", s.handle("/v1/dataset", true, s.viewHandler("/v1/dataset", s.handleDataset)))
+	s.mux.HandleFunc("GET /v1/graph/neighbors/{asn}", s.handle("/v1/graph/neighbors", true, s.viewHandler("/v1/graph/neighbors", s.handleGraphNeighbors)))
+	s.mux.HandleFunc("GET /v1/graph/upstreams/{asn}", s.handle("/v1/graph/upstreams", true, s.viewHandler("/v1/graph/upstreams", s.handleGraphUpstreams)))
+	s.mux.HandleFunc("GET /v1/graph/cone/{asn}", s.handle("/v1/graph/cone", true, s.viewHandler("/v1/graph/cone", s.handleGraphCone)))
+	s.mux.HandleFunc("GET /v1/graph/path", s.handle("/v1/graph/path", true, s.viewHandler("/v1/graph/path", s.handleGraphPath)))
 	s.mux.HandleFunc("GET /v1/diff", s.handle("/v1/diff", true, s.handleDiff))
 	s.mux.HandleFunc("GET /healthz", s.handle("/healthz", false, s.handleHealthz))
 	s.mux.HandleFunc("GET /readyz", s.handle("/readyz", false, s.handleReadyz))
@@ -452,10 +458,16 @@ func canonicalKey(r *http.Request) string {
 		return "cc:" + CanonicalCC(cc)
 	}
 	if asn := r.PathValue("asn"); asn != "" {
+		key := "asn-raw:" + asn
 		if n, err := strconv.ParseUint(asn, 10, 32); err == nil {
-			return "asn:" + strconv.FormatUint(n, 10)
+			key = "asn:" + strconv.FormatUint(n, 10)
 		}
-		return "asn-raw:" + asn
+		// The neighbors endpoint's class filter is part of its canonical
+		// form (case-insensitive).
+		if strings.HasPrefix(r.URL.Path, "/v1/graph/neighbors/") {
+			key += "\x00class:" + strings.ToLower(r.URL.Query().Get("class"))
+		}
+		return key
 	}
 	if id := r.PathValue("id"); id != "" {
 		return "id:" + id
@@ -463,6 +475,10 @@ func canonicalKey(r *http.Request) string {
 	if r.URL.Path == "/v1/search" {
 		q := r.URL.Query()
 		return "name:" + nameutil.Normalize(q.Get("name")) + "\x00limit:" + q.Get("limit")
+	}
+	if r.URL.Path == "/v1/graph/path" {
+		q := r.URL.Query()
+		return "from:" + canonASNParam(q.Get("from")) + "\x00to:" + canonASNParam(q.Get("to"))
 	}
 	return r.URL.Path
 }
@@ -515,10 +531,13 @@ func (s *Server) handleASN(v *View, r *http.Request) response {
 	return jsonResponse(status, body)
 }
 
-// OrgResponse is one organization with its ASNs.
+// OrgResponse is one organization with its ASNs. The membership list
+// renders through ASNList — the same canonical sorted-ASN form the
+// graph cone endpoint uses — so the record plane and the graph plane
+// cannot drift.
 type OrgResponse struct {
 	Organization *expand.OrgRecord `json:"organization"`
-	ASNs         []world.ASN       `json:"asn"`
+	ASNs         ASNList           `json:"asn"`
 }
 
 func (s *Server) handleOrg(v *View, r *http.Request) response {
@@ -527,7 +546,7 @@ func (s *Server) handleOrg(v *View, r *http.Request) response {
 	if !ok {
 		return errResponse(http.StatusNotFound, fmt.Sprintf("unknown organization %q", id))
 	}
-	return jsonResponse(http.StatusOK, OrgResponse{Organization: org.Record, ASNs: org.ASNs})
+	return jsonResponse(http.StatusOK, OrgResponse{Organization: org.Record, ASNs: ASNList(org.ASNs)})
 }
 
 // CountryResponse lists a country's state-owned operators, including
@@ -546,7 +565,7 @@ func (s *Server) handleCountry(v *View, r *http.Request) response {
 	orgs, minority := v.Index.Country(cc)
 	body := CountryResponse{CC: cc, Organizations: []OrgResponse{}, Minority: minority}
 	for _, o := range orgs {
-		body.Organizations = append(body.Organizations, OrgResponse{Organization: o.Record, ASNs: o.ASNs})
+		body.Organizations = append(body.Organizations, OrgResponse{Organization: o.Record, ASNs: ASNList(o.ASNs)})
 	}
 	return jsonResponse(http.StatusOK, body)
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"stateowned/internal/churn"
+	"stateowned/internal/graph"
 	"stateowned/internal/runner"
 )
 
@@ -57,6 +58,10 @@ type View struct {
 	Health *runner.Health
 	// Provenance describes the build for /v1/dataset.
 	Provenance Provenance
+	// Graph is the generation's compiled relationship index behind the
+	// /v1/graph/* endpoints. Nil when the source carries no topology
+	// (static index-only sources); the graph endpoints then answer 404.
+	Graph *graph.Graph
 }
 
 // ReloadStatus is a source's rebuild-state report, surfaced verbatim

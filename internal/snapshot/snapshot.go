@@ -312,6 +312,10 @@ func (s *Store) build(gen int) *Generation {
 		Gen:    gen,
 		Index:  g.Index,
 		Health: res.Health,
+		// The graph compiles eagerly with the generation: the cost lands
+		// at build/stage time (off the request path), and hot reloads
+		// swap index and graph together, atomically.
+		Graph: res.Graph(),
 		Provenance: serve.Provenance{
 			Origin:      "generational",
 			Seed:        cfg.Seed,

@@ -42,6 +42,7 @@ import (
 	"stateowned/internal/eyeballs"
 	"stateowned/internal/faults"
 	"stateowned/internal/geo"
+	"stateowned/internal/graph"
 	"stateowned/internal/orbis"
 	"stateowned/internal/peeringdb"
 	"stateowned/internal/runner"
@@ -135,6 +136,9 @@ type Result struct {
 
 	indexOnce sync.Once
 	index     *serve.Index
+
+	graphOnce sync.Once
+	graph     *graph.Graph
 }
 
 // Index compiles (once, lazily) the run's dataset into the serving
@@ -144,6 +148,29 @@ type Result struct {
 func (r *Result) Index() *serve.Index {
 	r.indexOnce.Do(func() { r.index = serve.BuildIndex(r.Dataset) })
 	return r.index
+}
+
+// Graph compiles (once, lazily) the run's relationship query plane: the
+// classed adjacency, customer-cone closure, transit-dependency ranking
+// and valley-free path oracle behind internal/serve's /v1/graph/*
+// endpoints and cmd/query's graph modes. It reuses the run's monitor
+// set when CTI selected one (so dependency scores are observed from the
+// same vantage points, outages included) and derives the canonical set
+// otherwise; the build fans out on the run's Workers budget and is
+// bit-identical for every worker count. Nil when the run has no
+// topology (a degraded build) — callers treat that as "no graph plane".
+func (r *Result) Graph() *graph.Graph {
+	r.graphOnce.Do(func() {
+		if r.Topology == nil {
+			return
+		}
+		monitors := r.Monitors
+		if monitors == nil {
+			monitors = bgp.SelectMonitors(r.World, r.Topology, r.Config.Monitors)
+		}
+		r.graph = graph.Build(r.Topology, monitors, r.AS2Org, r.Config.Workers)
+	})
+	return r.graph
 }
 
 // AnalysisData bundles the run's artifacts for internal/analysis, which
