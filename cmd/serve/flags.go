@@ -47,6 +47,10 @@ type config struct {
 	reloadMaxChurn    float64
 	reloadMaxFailures int
 
+	// Incremental rebuilds (single and shard modes: anywhere a store
+	// builds generations).
+	incremental bool
+
 	// Fleet knobs.
 	shards     int
 	shardIndex int
@@ -80,6 +84,7 @@ func parseFlags(args []string, output io.Writer) (config, error) {
 	fs.DurationVar(&cfg.drainTimeout, "drain-timeout", serve.DefaultDrainTimeout, "graceful-shutdown drain budget after SIGINT/SIGTERM")
 	fs.Float64Var(&cfg.reloadMaxChurn, "reload-max-churn", snapshot.DefaultMaxChurnFraction, "reload gate: quarantine a rebuilt generation whose state-owned ASN set churned more than this fraction (0 rejects any change; >= 1 disables the bound)")
 	fs.IntVar(&cfg.reloadMaxFailures, "reload-max-failures", 0, "reload gate: stop retrying after this many consecutive quarantined rebuilds and serve last-known-good until restart (0 = retry forever)")
+	fs.BoolVar(&cfg.incremental, "incremental", false, "rebuild generations incrementally: reuse the previous generation's artifacts for pipeline nodes whose inputs did not churn (byte-identical output, less rebuild work)")
 	fs.IntVar(&cfg.shards, "shards", 0, "fleet size (shard mode: the partition's shard count; router mode: optional cross-check against -shard-addrs)")
 	fs.IntVar(&cfg.shardIndex, "shard-index", -1, "shard mode: this shard's position in [0, -shards)")
 	fs.StringVar(&shardAddrs, "shard-addrs", "", "router mode: comma-separated shard base addresses, in shard order")
@@ -173,7 +178,7 @@ func validate(cfg *config, set map[string]bool) error {
 		// not a timer, reloads it).
 		if err := reject("seed", "scale", "workers", "chaos", "chaos-seed", "churn-seed",
 			"generations", "cache", "reload-every", "reload-max-churn", "reload-max-failures",
-			"shard-index"); err != nil {
+			"incremental", "shard-index"); err != nil {
 			return err
 		}
 		if len(cfg.shardAddrs) == 0 {

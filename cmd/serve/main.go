@@ -11,7 +11,10 @@
 // never paused; in-flight requests finish on the generation they
 // started on. ?gen=N pins a query to any generation still in the
 // retention ring (-generations), and /v1/diff?from=&to= audits the
-// ownership churn between two retained generations.
+// ownership churn between two retained generations. -incremental makes
+// each rebuild reuse the previous generation's artifacts for pipeline
+// nodes whose inputs did not churn — byte-identical output, reported on
+// /metrics as nodes_reused/nodes_rebuilt.
 //
 // The same binary also runs as a sharded fleet. -mode shard serves one
 // ASN-range partition of the dataset plus the /fleet two-phase control
@@ -26,7 +29,7 @@
 // Usage:
 //
 //	serve [-addr :8080] [-seed N] [-scale F] [-workers N] [-chaos F] [-chaos-seed N] [-cache N]
-//	      [-reload-every D] [-generations N] [-churn-seed N]
+//	      [-reload-every D] [-generations N] [-churn-seed N] [-incremental]
 //	      [-max-inflight N] [-queue-wait D] [-request-timeout D] [-drain-timeout D]
 //	      [-reload-max-churn F] [-reload-max-failures N]
 //	serve -mode shard -shards N -shard-index I [world and serving flags]
@@ -119,8 +122,9 @@ func buildStore(cfg config) *snapshot.Store {
 			Seed: cfg.seed, Scale: cfg.scale, Workers: cfg.workers,
 			ChaosSeverity: cfg.chaos, ChaosSeed: cfg.chaosSeed,
 		},
-		ChurnSeed: cfg.churnSeed,
-		Retain:    cfg.generations,
+		ChurnSeed:   cfg.churnSeed,
+		Retain:      cfg.generations,
+		Incremental: cfg.incremental,
 		Validation: &snapshot.Validation{
 			MaxChurnFraction: cfg.reloadMaxChurn,
 			MaxFailures:      cfg.reloadMaxFailures,

@@ -117,12 +117,13 @@ type testFleet struct {
 
 // fleetConfig tweaks buildFleet.
 type fleetConfig struct {
-	seed      uint64
-	scale     float64
-	shards    int
-	retain    int
-	routerOpt func(*RouterOptions)
-	coordOpt  func(*CoordinatorOptions)
+	seed        uint64
+	scale       float64
+	shards      int
+	retain      int
+	incremental bool
+	routerOpt   func(*RouterOptions)
+	coordOpt    func(*CoordinatorOptions)
 }
 
 // shardStore builds one shard's snapshot store; every store in a fleet
@@ -130,8 +131,9 @@ type fleetConfig struct {
 // the store's determinism guarantee.
 func shardStore(cfg fleetConfig) *snapshot.Store {
 	return snapshot.New(snapshot.Options{
-		Base:   stateowned.Config{Seed: cfg.seed, Scale: cfg.scale},
-		Retain: cfg.retain,
+		Base:        stateowned.Config{Seed: cfg.seed, Scale: cfg.scale},
+		Retain:      cfg.retain,
+		Incremental: cfg.incremental,
 	})
 }
 

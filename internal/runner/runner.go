@@ -136,6 +136,11 @@ type StageHealth struct {
 type NodeTiming struct {
 	Node string
 	Wall time.Duration
+	// Reused marks a node whose artifact was restored from the previous
+	// generation's memo instead of rebuilt (incremental rebuilds only).
+	// Like Wall it is build metadata: excluded from Render and from
+	// determinism comparisons.
+	Reused bool
 }
 
 // Health is the structured degradation report attached to a Result.
@@ -346,17 +351,26 @@ func (h *Health) Render() string {
 
 // RenderTimings formats the per-node wall-time profile as a table. It
 // lives outside Render because wall times are nondeterministic: Render
-// stays byte-diffable across runs, timings are observability.
+// stays byte-diffable across runs, timings are observability. On an
+// incremental rebuild a "built" column distinguishes rebuilt nodes from
+// ones restored out of the previous generation's memo.
 func (h *Health) RenderTimings() string {
 	t := report.NewTable(
 		fmt.Sprintf("Build-node wall time (%d workers)", h.Workers),
-		"node", "wall")
+		"node", "wall", "built")
 	var total time.Duration
+	reused := 0
 	for _, nt := range h.Timings {
-		t.AddRow(nt.Node, nt.Wall.Round(time.Microsecond).String())
+		built := "built"
+		if nt.Reused {
+			built = "reused"
+			reused++
+		}
+		t.AddRow(nt.Node, nt.Wall.Round(time.Microsecond).String(), built)
 		total += nt.Wall
 	}
-	t.AddRow("(sum of nodes)", total.Round(time.Microsecond).String())
+	t.AddRow("(sum of nodes)", total.Round(time.Microsecond).String(),
+		fmt.Sprintf("%d/%d reused", reused, len(h.Timings)))
 	return t.String()
 }
 

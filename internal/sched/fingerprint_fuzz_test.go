@@ -1,0 +1,107 @@
+package sched
+
+// FuzzFingerprint fuzzes the Hasher's injectivity and determinism
+// contract: the typed, length-prefixed encoding must make distinct
+// write sequences yield distinct fingerprints (no concatenation
+// ambiguity, no cross-type aliasing, no domain aliasing) while
+// identical sequences always agree. The CI fuzz smoke enumerates this
+// target automatically.
+
+import "testing"
+
+func FuzzFingerprint(f *testing.F) {
+	f.Add("node/world", "alpha", "beta", uint64(42), 1.5, true)
+	f.Add("", "", "", uint64(0), 0.0, false)
+	f.Add("d", "a", "bc", uint64(1)<<63, -0.0, true)
+	f.Add("node/cti", "ab", "c", uint64(7), 3.14159, false)
+	f.Fuzz(func(t *testing.T, domain, s1, s2 string, u uint64, fv float64, b bool) {
+		write := func() *Hasher {
+			h := NewHasher(domain)
+			h.Str(s1)
+			h.Str(s2)
+			h.U64(u)
+			h.F64(fv)
+			h.Bool(b)
+			return h
+		}
+		base := write().Sum()
+		if base.IsZero() {
+			t.Fatal("computed fingerprint is the zero value")
+		}
+		if again := write().Sum(); again != base {
+			t.Errorf("identical write sequences disagree: %s vs %s", base, again)
+		}
+
+		// Concatenation ambiguity: splitting the same bytes differently
+		// across Str calls must change the fingerprint.
+		h := NewHasher(domain)
+		h.Str(s1 + s2)
+		h.U64(u)
+		h.F64(fv)
+		h.Bool(b)
+		if joined := h.Sum(); len(s1) > 0 && joined == base {
+			t.Errorf("Str(%q)+Str(%q) collides with Str(%q)", s1, s2, s1+s2)
+		}
+
+		// Cross-type aliasing: the same payload bytes under different
+		// type tags must not collide.
+		hs := NewHasher(domain)
+		hs.Str(s1)
+		hb := NewHasher(domain)
+		hb.Bytes([]byte(s1))
+		if hs.Sum() == hb.Sum() {
+			t.Errorf("Str(%q) collides with Bytes of the same payload", s1)
+		}
+		hu := NewHasher(domain)
+		hu.U64(u)
+		hi := NewHasher(domain)
+		hi.I64(int64(u))
+		if hu.Sum() == hi.Sum() {
+			t.Errorf("U64(%d) collides with I64 of the same bits", u)
+		}
+
+		// Domain separation: the same writes under a different domain
+		// must not collide.
+		h2 := NewHasher(domain + "x")
+		h2.Str(s1)
+		h2.Str(s2)
+		h2.U64(u)
+		h2.F64(fv)
+		h2.Bool(b)
+		if h2.Sum() == base {
+			t.Errorf("domain %q collides with %q over identical writes", domain, domain+"x")
+		}
+
+		// Extension: appending one more write must change the digest.
+		h3 := write()
+		h3.Bool(!b)
+		if h3.Sum() == base {
+			t.Error("appending a write did not change the fingerprint")
+		}
+
+		// Composition via FP must differ from inlining the same writes.
+		inner := NewHasher(domain)
+		inner.Str(s1)
+		outer := NewHasher(domain)
+		outer.FP(inner.Sum())
+		flat := NewHasher(domain)
+		flat.Str(s1)
+		if outer.Sum() == flat.Sum() {
+			t.Errorf("FP composition collides with inline writes for %q", s1)
+		}
+
+		// Map hashing is insertion-order independent: build the same map
+		// from fuzz-controlled keys in two different insertion orders.
+		if s1 != s2 {
+			m1 := map[string]float64{s1: fv, s2: fv + 1}
+			m2 := map[string]float64{s2: fv + 1, s1: fv}
+			ha := NewHasher(domain)
+			ha.StrMapF64(m1)
+			hb2 := NewHasher(domain)
+			hb2.StrMapF64(m2)
+			if ha.Sum() != hb2.Sum() {
+				t.Errorf("StrMapF64 is sensitive to insertion order for keys %q, %q", s1, s2)
+			}
+		}
+	})
+}

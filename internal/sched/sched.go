@@ -50,17 +50,48 @@ func (e *PanicError) Error() string {
 // NodeResult records one node's execution: its measured wall time and
 // the error (or guarded panic) it produced. Wall times are measurement,
 // not simulation — they vary run to run and must never feed back into
-// pipeline output.
+// pipeline output. Reused marks a node whose artifact was restored from
+// the previous run's memo instead of being rebuilt (RunMemo only); like
+// Wall it is metadata and must never feed back into output.
 type NodeResult struct {
-	Name string
-	Wall time.Duration
-	Err  error
+	Name   string
+	Wall   time.Duration
+	Err    error
+	Reused bool
+}
+
+// MemoSpec declares how a node participates in incremental rebuilds.
+// FP is the node's input fingerprint: a content hash over everything
+// the node's fn reads. Capture extracts the node's artifact after a
+// successful build; Restore re-adopts a previously captured artifact in
+// place of running fn. CleanDeps names dependencies whose dirtiness
+// does not dirty this node because FP already covers every byte the
+// node reads from them (e.g. a source node hashing the exact world
+// projection it consumes need not rebuild just because the world node
+// re-ran). Restored artifacts are shared across runs, never copied —
+// the node contract is that artifacts are immutable after capture.
+type MemoSpec struct {
+	// FP is the input fingerprint covering everything fn reads.
+	FP Fingerprint
+	// Capture extracts the artifact after fn succeeds.
+	Capture func() any
+	// Restore adopts a previously captured artifact instead of running fn.
+	Restore func(value any)
+	// CleanDeps lists deps whose dirtiness FP fully accounts for.
+	CleanDeps []string
 }
 
 type node struct {
 	name string
 	fn   func() error
 	deps []int
+	memo *memoSpec
+}
+
+// memoSpec is MemoSpec with CleanDeps resolved to a dep-index set.
+type memoSpec struct {
+	MemoSpec
+	clean map[int]bool
 }
 
 // Graph is a build DAG under construction. Declare nodes with Add, then
@@ -99,6 +130,41 @@ func (g *Graph) Add(name string, fn func() error, deps ...string) {
 	g.nodes = append(g.nodes, node{name: name, fn: fn, deps: idxs})
 }
 
+// AddMemo declares a node like Add and attaches a MemoSpec so RunMemo
+// can skip it when its input fingerprint is unchanged from the previous
+// run. spec.FP must be non-zero and spec.Capture/Restore non-nil;
+// spec.CleanDeps must name declared dependencies of this node. Nodes
+// added with plain Add are always dirty under RunMemo.
+func (g *Graph) AddMemo(name string, spec MemoSpec, fn func() error, deps ...string) {
+	if spec.FP.IsZero() {
+		panic(fmt.Sprintf("sched: memo node %q has zero fingerprint", name))
+	}
+	if spec.Capture == nil || spec.Restore == nil {
+		panic(fmt.Sprintf("sched: memo node %q needs Capture and Restore", name))
+	}
+	g.Add(name, fn, deps...)
+	n := &g.nodes[len(g.nodes)-1]
+	ms := &memoSpec{MemoSpec: spec, clean: map[int]bool{}}
+	for _, d := range spec.CleanDeps {
+		di, ok := g.byName[d]
+		if !ok {
+			panic(fmt.Sprintf("sched: memo node %q names undeclared clean dep %q", name, d))
+		}
+		isDep := false
+		for _, nd := range n.deps {
+			if nd == di {
+				isDep = true
+				break
+			}
+		}
+		if !isDep {
+			panic(fmt.Sprintf("sched: memo node %q clean dep %q is not a dependency", name, d))
+		}
+		ms.clean[di] = true
+	}
+	n.memo = ms
+}
+
 // Len reports how many nodes are declared.
 func (g *Graph) Len() int { return len(g.nodes) }
 
@@ -117,6 +183,105 @@ func Workers(n int) int {
 // ready the lowest declaration index starts first, so the assignment of
 // work to time is the only thing concurrency changes.
 func (g *Graph) Run(workers int) []NodeResult {
+	fns := make([]func() error, len(g.nodes))
+	for i := range g.nodes {
+		fns[i] = g.nodes[i].fn
+	}
+	return g.exec(workers, fns)
+}
+
+// RunMemo executes the graph incrementally against the previous run's
+// memo and returns the per-node results plus the next memo. A node is
+// dirty — and re-executes its declared fn — when it has no MemoSpec,
+// the memo holds no artifact under its name, its fingerprint differs
+// from the memoized one, or any dependency outside its CleanDeps set is
+// itself dirty. A clean node instead runs its Restore over the
+// memoized artifact, under the same scheduler slot, ordering, timing
+// and panic guard as a real build — so scheduling is identical and a
+// panicking Restore degrades exactly like a panicking build.
+//
+// The returned memo holds artifacts only for trustworthy nodes: a node
+// whose fn (or Restore) returned an error or panicked is excluded, and
+// the exclusion propagates to dependents through every non-clean edge —
+// a node built downstream of a failed dependency may have consumed
+// degraded state, so its artifact must not seed the next generation.
+// Passing a nil prev dirties every node, making RunMemo(w, nil)
+// behaviorally identical to Run(w).
+func (g *Graph) RunMemo(workers int, prev *Memo) ([]NodeResult, *Memo) {
+	dirty := g.dirtySet(prev)
+	fns := make([]func() error, len(g.nodes))
+	arts := make([]Artifact, len(g.nodes))
+	for i := range g.nodes {
+		n := &g.nodes[i]
+		if dirty[i] {
+			fns[i] = n.fn
+			continue
+		}
+		art, _ := prev.Lookup(n.name)
+		arts[i] = art
+		restore, value := n.memo.Restore, art.Value
+		fns[i] = func() error { restore(value); return nil }
+	}
+	results := g.exec(workers, fns)
+
+	next := &Memo{nodes: make(map[string]Artifact, len(g.nodes))}
+	trusted := make([]bool, len(g.nodes))
+	for i := range g.nodes {
+		n := &g.nodes[i]
+		if !dirty[i] {
+			results[i].Reused = true
+		}
+		if n.memo == nil || results[i].Err != nil {
+			continue
+		}
+		ok := true
+		for _, d := range n.deps {
+			if n.memo.clean[d] || trusted[d] {
+				continue
+			}
+			ok = false
+			break
+		}
+		if !ok {
+			continue
+		}
+		trusted[i] = true
+		if dirty[i] {
+			next.nodes[n.name] = Artifact{FP: n.memo.FP, Value: n.memo.Capture()}
+		} else {
+			next.nodes[n.name] = Artifact{FP: n.memo.FP, Value: arts[i].Value}
+		}
+	}
+	return results, next
+}
+
+// dirtySet computes which nodes must re-execute against prev. Dirtiness
+// propagates along every dependency edge not declared clean.
+func (g *Graph) dirtySet(prev *Memo) []bool {
+	dirty := make([]bool, len(g.nodes))
+	for i := range g.nodes {
+		n := &g.nodes[i]
+		if n.memo == nil {
+			dirty[i] = true
+			continue
+		}
+		if art, ok := prev.Lookup(n.name); !ok || art.FP != n.memo.FP {
+			dirty[i] = true
+			continue
+		}
+		for _, d := range n.deps {
+			if dirty[d] && !n.memo.clean[d] {
+				dirty[i] = true
+				break
+			}
+		}
+	}
+	return dirty
+}
+
+// exec runs fns[i] in place of each node's declared fn, preserving the
+// scheduler's ordering, pooling, timing and panic-guard semantics.
+func (g *Graph) exec(workers int, fns []func() error) []NodeResult {
 	workers = Workers(workers)
 	if workers > len(g.nodes) {
 		workers = len(g.nodes)
@@ -124,7 +289,7 @@ func (g *Graph) Run(workers int) []NodeResult {
 	results := make([]NodeResult, len(g.nodes))
 	if workers <= 1 {
 		for i := range g.nodes {
-			results[i] = runNode(&g.nodes[i])
+			results[i] = runNode(g.nodes[i].name, fns[i])
 		}
 		return results
 	}
@@ -173,7 +338,7 @@ func (g *Graph) Run(workers int) []NodeResult {
 				i := ready[0]
 				ready = ready[1:]
 				mu.Unlock()
-				r := runNode(&g.nodes[i])
+				r := runNode(g.nodes[i].name, fns[i])
 				mu.Lock()
 				results[i] = r
 				completed++
@@ -191,17 +356,17 @@ func (g *Graph) Run(workers int) []NodeResult {
 	return results
 }
 
-// runNode executes one node behind the timing and panic guard.
-func runNode(n *node) NodeResult {
-	res := NodeResult{Name: n.name}
+// runNode executes one node's fn behind the timing and panic guard.
+func runNode(name string, fn func() error) NodeResult {
+	res := NodeResult{Name: name}
 	start := time.Now()
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
-				res.Err = &PanicError{Node: n.name, Value: r, Stack: debug.Stack()}
+				res.Err = &PanicError{Node: name, Value: r, Stack: debug.Stack()}
 			}
 		}()
-		res.Err = n.fn()
+		res.Err = fn()
 	}()
 	res.Wall = time.Since(start)
 	return res

@@ -154,9 +154,12 @@ type EndpointSnapshot struct {
 
 // BuildNodeTiming is one pipeline build node's measured wall time as
 // exposed on /metrics — the serving-side view of runner.NodeTiming.
+// Reused marks nodes that were restored from the previous generation's
+// artifact memo instead of executed (incremental rebuilds only).
 type BuildNodeTiming struct {
 	Node   string  `json:"node"`
 	WallMS float64 `json:"wall_ms"`
+	Reused bool    `json:"reused,omitempty"`
 }
 
 // Snapshot is the full registry state at one instant, the JSON body of
@@ -187,6 +190,14 @@ type Snapshot struct {
 	DegradedReason string            `json:"degraded_reason,omitempty"`
 	BuildWorkers   int               `json:"build_workers,omitempty"`
 	BuildNodes     []BuildNodeTiming `json:"build_nodes,omitempty"`
+	// Incremental-rebuild counters, copied from the source's
+	// ReloadStatus (absent for full-rebuild and static sources). All
+	// cumulative across rebuilds.
+	Incremental  bool   `json:"incremental,omitempty"`
+	NodesReused  uint64 `json:"nodes_reused,omitempty"`
+	NodesRebuilt uint64 `json:"nodes_rebuilt,omitempty"`
+	IndexReuses  uint64 `json:"index_reuses,omitempty"`
+	GraphReuses  uint64 `json:"graph_reuses,omitempty"`
 }
 
 // Snapshot captures the registry (endpoints sorted by name for a stable

@@ -712,6 +712,11 @@ type ReadyResponse struct {
 	DegradedReason string         `json:"degraded_reason,omitempty"`
 	ReloadFailures int            `json:"reload_failures,omitempty"`
 	ReloadGaveUp   bool           `json:"reload_gave_up,omitempty"`
+	// Incremental-rebuild reuse counters (cumulative over the store's
+	// lifetime), present only when the source rebuilds incrementally.
+	Incremental    bool           `json:"incremental,omitempty"`
+	NodesReused    uint64         `json:"nodes_reused,omitempty"`
+	NodesRebuilt   uint64         `json:"nodes_rebuilt,omitempty"`
 	ChaosSeverity  float64        `json:"chaos_severity"`
 	Sources        []SourceStatus `json:"sources,omitempty"`
 	DegradedSrc    []string       `json:"degraded_sources,omitempty"`
@@ -726,6 +731,8 @@ func (s *Server) handleReadyz(*http.Request) response {
 		Generation: v.Gen, Reloading: rs.Reloading,
 		Degraded: rs.Degraded, DegradedReason: rs.Reason,
 		ReloadFailures: rs.ConsecutiveFailures, ReloadGaveUp: rs.GaveUp,
+		Incremental: rs.Incremental,
+		NodesReused: rs.NodesReused, NodesRebuilt: rs.NodesRebuilt,
 	}
 	if v.Health == nil {
 		body.Ready = true
@@ -766,12 +773,18 @@ func (s *Server) handleMetrics(*http.Request) response {
 	snap.Reloading = rs.Reloading
 	snap.Degraded = rs.Degraded
 	snap.DegradedReason = rs.Reason
+	snap.Incremental = rs.Incremental
+	snap.NodesReused = rs.NodesReused
+	snap.NodesRebuilt = rs.NodesRebuilt
+	snap.IndexReuses = rs.IndexReuses
+	snap.GraphReuses = rs.GraphReuses
 	if h := v.Health; h != nil {
 		snap.BuildWorkers = h.Workers
 		for _, nt := range h.Timings {
 			snap.BuildNodes = append(snap.BuildNodes, BuildNodeTiming{
 				Node:   nt.Node,
 				WallMS: float64(nt.Wall) / float64(time.Millisecond),
+				Reused: nt.Reused,
 			})
 		}
 	}

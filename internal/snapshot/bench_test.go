@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"stateowned"
+	"stateowned/internal/churn"
 )
 
 // BenchmarkReloadSwap measures the publish step alone — the only part
@@ -39,3 +40,59 @@ func BenchmarkAdvance(b *testing.B) {
 		s.Advance()
 	}
 }
+
+// advanceScales spans the full-vs-incremental comparison; churnLevels
+// spans the dirtiness axis: zero churn is the incremental best case
+// (every node restored), default rates the operational case, heavy
+// rates approach the degenerate full rebuild. EXPERIMENTS.md records
+// the resulting speedup curve and its break-even point.
+var advanceScales = []float64{0.5, 1.0, 2.0}
+
+var churnLevels = []struct {
+	name  string
+	rates churn.Rates
+}{
+	{"zero", churn.Rates{Privatization: 1e-300, Nationalization: 1e-300, NewSubsidiary: 1e-300}},
+	{"default", churn.DefaultRates()},
+	{"heavy", churn.Rates{Privatization: 0.15, Nationalization: 0.08, NewSubsidiary: 0.1}},
+}
+
+// benchAdvance times Advance cycles on a store, one full chain per
+// scale × churn cell.
+func benchAdvance(b *testing.B, incremental bool) {
+	for _, scale := range advanceScales {
+		for _, cl := range churnLevels {
+			b.Run(fmt.Sprintf("scale%.1f/churn-%s", scale, cl.name), func(b *testing.B) {
+				gate := DefaultValidation()
+				gate.MaxChurnFraction = 1e9
+				s := New(Options{
+					Base:        stateowned.Config{Seed: 7, Scale: scale},
+					Rates:       cl.rates,
+					Incremental: incremental,
+					Validation:  &gate,
+				})
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if s.Advance() == nil {
+						b.Fatalf("advance quarantined: %v", s.Degraded())
+					}
+				}
+				b.StopTimer()
+				built, reused, _, _ := s.IncrementalCounters()
+				if total := built + reused; total > 0 {
+					b.ReportMetric(float64(reused)/float64(total), "reused-frac")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAdvanceFull is the baseline: every generation rebuilt from
+// scratch.
+func BenchmarkAdvanceFull(b *testing.B) { benchAdvance(b, false) }
+
+// BenchmarkAdvanceIncremental threads the artifact memo between
+// generations; the gap against BenchmarkAdvanceFull is the dirty-set
+// machinery's payoff at each churn level (and its fingerprint-hashing
+// overhead at the heavy end).
+func BenchmarkAdvanceIncremental(b *testing.B) { benchAdvance(b, true) }

@@ -1,0 +1,395 @@
+package snapshot
+
+// The incremental-rebuild differential proof harness. The claim under
+// test: a store advancing with Options.Incremental — reusing the
+// previous generation's memoized artifacts, compiled serving index and
+// graph plane wherever fingerprints prove the inputs unchanged — serves
+// a chain of generations byte-identical to a store that rebuilds each
+// generation from scratch. "Byte-identical" is measured at every
+// surface a client can see: exported dataset bytes, rendered analysis
+// tables, the health report, and the full /v1/* + /v1/graph/* HTTP
+// surface pinned per generation.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+
+	"stateowned"
+	"stateowned/internal/analysis"
+	"stateowned/internal/churn"
+	"stateowned/internal/serve"
+)
+
+// chainCase is one row of the differential matrix: a seed, a churn
+// severity, and a build-pool size.
+type chainCase struct {
+	seed    uint64
+	rates   churn.Rates
+	workers int
+	label   string
+}
+
+// chainGens is the chain length after generation 0.
+const chainGens = 3
+
+// heavyRates churns roughly an order of magnitude faster than the
+// observed decade — enough that most generations move several operators.
+func heavyRates() churn.Rates {
+	return churn.Rates{Privatization: 0.15, Nationalization: 0.08, NewSubsidiary: 0.1}
+}
+
+// negligibleRates is a non-zero Rates value (the zero value would be
+// normalized to DefaultRates) whose probabilities can never fire.
+func negligibleRates() churn.Rates {
+	return churn.Rates{Privatization: 1e-300, Nationalization: 1e-300, NewSubsidiary: 1e-300}
+}
+
+// chainStore builds a store over the case's config, retaining the whole
+// chain so every generation stays pinnable for the HTTP comparison.
+func chainStore(c chainCase, incremental bool) *Store {
+	noGate := DefaultValidation()
+	noGate.MaxChurnFraction = 1e9 // severity is the axis under test, not the gate's opinion of it
+	return New(Options{
+		Base:        stateowned.Config{Seed: c.seed, Scale: testScale, Workers: c.workers},
+		Rates:       c.rates,
+		Retain:      chainGens + 1,
+		Incremental: incremental,
+		Validation:  &noGate,
+	})
+}
+
+// renderedTables renders the three analysis tables — the human-facing
+// projection that must not notice the reuse path.
+func renderedTables(g *Generation) string {
+	d := g.Result.AnalysisData()
+	var b bytes.Buffer
+	b.WriteString(analysis.RenderHeadline(analysis.ComputeHeadline(d)))
+	b.WriteString(analysis.RenderTable1(analysis.ComputeTable1(d)))
+	b.WriteString(analysis.RenderScore("score", analysis.ComputeScore(d, nil)))
+	return b.String()
+}
+
+// probePaths assembles the HTTP battery from a generation-0 dataset:
+// real and missing ASNs, country and org lookups, search, the dataset
+// export, and every graph endpoint. Both stores share generation 0
+// content, so the battery is identical for both.
+func probePaths(t *testing.T, g *Generation) []string {
+	t.Helper()
+	ds := g.Result.Dataset
+	var asns []string
+	for i := range ds.ASNs {
+		for _, a := range ds.ASNs[i].ASNs {
+			asns = append(asns, strconv.FormatUint(uint64(a), 10))
+		}
+		if len(asns) >= 6 {
+			break
+		}
+	}
+	if len(asns) < 2 {
+		t.Fatal("generation 0 dataset too small to probe")
+	}
+	paths := []string{
+		"/v1/asn/" + asns[0],
+		"/v1/asn/" + asns[len(asns)-1],
+		"/v1/asn/49999", // below the world's range: stable miss
+		"/v1/country/" + ds.Organizations[0].OwnershipCC,
+		"/v1/org/" + ds.Organizations[0].OrgID,
+		"/v1/search?name=telecom",
+		"/v1/search?name=national+operator&limit=5",
+		"/v1/dataset",
+		"/v1/graph/neighbors/" + asns[0],
+		"/v1/graph/neighbors/" + asns[1] + "?class=provider",
+		"/v1/graph/upstreams/" + asns[0],
+		"/v1/graph/cone/" + asns[0],
+		"/v1/graph/path?from=" + asns[0] + "&to=" + asns[len(asns)-1],
+	}
+	return paths
+}
+
+// fetch GETs one path and returns status plus body.
+func fetch(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// pin appends a ?gen=/&gen= pin to a path.
+func pin(path string, gen int) string {
+	sep := "?"
+	if bytes.ContainsRune([]byte(path), '?') {
+		sep = "&"
+	}
+	return path + sep + "gen=" + strconv.Itoa(gen)
+}
+
+// assertChainsEqual walks both stores generation by generation and
+// compares every observable surface.
+func assertChainsEqual(t *testing.T, full, inc *Store) {
+	t.Helper()
+	fullSrv := httptest.NewServer(serve.NewDynamic(full.Source(), serve.Options{}))
+	defer fullSrv.Close()
+	incSrv := httptest.NewServer(serve.NewDynamic(inc.Source(), serve.Options{}))
+	defer incSrv.Close()
+
+	g0, _ := full.Lookup(0)
+	paths := probePaths(t, g0)
+	for gen := 0; gen <= chainGens; gen++ {
+		gf, stf := full.Lookup(gen)
+		gi, sti := inc.Lookup(gen)
+		if stf != serve.GenOK || sti != serve.GenOK {
+			t.Fatalf("generation %d not retained (full=%d inc=%d)", gen, stf, sti)
+		}
+		if !bytes.Equal(exportDataset(t, gf), exportDataset(t, gi)) {
+			t.Errorf("generation %d: dataset bytes differ between full and incremental rebuilds", gen)
+		}
+		if renderedTables(gf) != renderedTables(gi) {
+			t.Errorf("generation %d: rendered analysis tables differ", gen)
+		}
+		if gf.Result.Health.Render() != gi.Result.Health.Render() {
+			t.Errorf("generation %d: rendered health differs", gen)
+		}
+		if len(gf.Events) != len(gi.Events) || gf.TotalEvents != gi.TotalEvents {
+			t.Errorf("generation %d: churn history differs (%d/%d vs %d/%d events)",
+				gen, len(gf.Events), gf.TotalEvents, len(gi.Events), gi.TotalEvents)
+		}
+		for _, p := range paths {
+			pp := pin(p, gen)
+			fs, fb := fetch(t, fullSrv, pp)
+			is, ib := fetch(t, incSrv, pp)
+			if fs != is || fb != ib {
+				t.Errorf("generation %d: GET %s diverges\nfull (%d): %.300s\nincremental (%d): %.300s",
+					gen, pp, fs, fb, is, ib)
+			}
+		}
+	}
+	// /v1/diff spans generations — compare the audits across the chain.
+	for _, span := range [][2]int{{0, chainGens}, {1, 2}} {
+		p := fmt.Sprintf("/v1/diff?from=%d&to=%d", span[0], span[1])
+		fs, fb := fetch(t, fullSrv, p)
+		is, ib := fetch(t, incSrv, p)
+		if fs != is || fb != ib {
+			t.Errorf("GET %s diverges between full and incremental chains", p)
+		}
+	}
+}
+
+// TestIncrementalChainByteIdentical is the differential proof: for each
+// (seed, churn severity, worker count) case, an incremental chain is
+// observably identical to a full-rebuild chain at every generation,
+// while actually reusing work.
+func TestIncrementalChainByteIdentical(t *testing.T) {
+	cases := []chainCase{
+		{seed: 7, rates: churn.DefaultRates(), workers: 1, label: "seed7-default-serial"},
+		{seed: 21, rates: heavyRates(), workers: 4, label: "seed21-heavy-parallel"},
+		{seed: 42, rates: churn.DefaultRates(), workers: 4, label: "seed42-default-parallel"},
+	}
+	for i, c := range cases {
+		c := c
+		t.Run(c.label, func(t *testing.T) {
+			if testing.Short() && i > 0 {
+				t.Skip("one differential case in -short mode")
+			}
+			full := chainStore(c, false)
+			inc := chainStore(c, true)
+			reusedTotal := 0
+			for gen := 1; gen <= chainGens; gen++ {
+				if full.Advance() == nil || inc.Advance() == nil {
+					t.Fatalf("advance to generation %d quarantined: full=%v inc=%v",
+						gen, full.Degraded(), inc.Degraded())
+				}
+				reusedTotal += inc.Current().Stats.NodesReused
+			}
+			assertChainsEqual(t, full, inc)
+
+			// The equality must not be vacuous: the incremental chain has to
+			// have actually reused artifacts, and the full chain none.
+			if reusedTotal == 0 {
+				t.Error("incremental chain reused zero nodes — the differential proof proved nothing")
+			}
+			if n := full.Current().Stats.NodesReused; n != 0 {
+				t.Errorf("full-rebuild chain reports %d reused nodes", n)
+			}
+			_, reused, _, _ := inc.IncrementalCounters()
+			if int(reused) != reusedTotal {
+				t.Errorf("cumulative reuse counter %d != summed per-generation stats %d", reused, reusedTotal)
+			}
+		})
+	}
+}
+
+// TestIncrementalZeroChurnSkipsEverything is the first metamorphic
+// property: when a generation's churn step moves nothing, the
+// incremental rebuild must execute zero pipeline nodes and adopt the
+// compiled index and graph wholesale — and still serve the identical
+// dataset under a fresh generation number.
+func TestIncrementalZeroChurnSkipsEverything(t *testing.T) {
+	s := New(Options{
+		Base:        stateowned.Config{Seed: 42, Scale: testScale},
+		Rates:       negligibleRates(),
+		Incremental: true,
+	})
+	g0 := s.Current()
+	if n := g0.Stats.NodesReused; n != 0 {
+		t.Fatalf("generation 0 reused %d nodes with no predecessor", n)
+	}
+
+	var executed []string
+	var mu sync.Mutex
+	restore := stateowned.SetBuildHook(func(node string) {
+		mu.Lock()
+		executed = append(executed, node)
+		mu.Unlock()
+	})
+	defer restore()
+	g1 := s.Advance()
+	if g1 == nil {
+		t.Fatalf("zero-churn advance quarantined: %v", s.Degraded())
+	}
+	if len(executed) != 0 {
+		t.Errorf("zero-churn rebuild executed pipeline nodes %v, want none", executed)
+	}
+	if len(g1.Events) != 0 {
+		t.Fatalf("negligible rates still produced %d churn events", len(g1.Events))
+	}
+	st := g1.Stats
+	if st.NodesTotal == 0 || st.NodesReused != st.NodesTotal {
+		t.Errorf("stats = %+v, want every one of the nodes reused", st)
+	}
+	if !st.IndexReused || !st.GraphReused {
+		t.Errorf("index/graph reuse = %v/%v, want both adopted on a zero-churn step", st.IndexReused, st.GraphReused)
+	}
+	if g1.Index != g0.Index {
+		t.Error("zero-churn generation compiled a new index instead of adopting the predecessor's")
+	}
+	if g1.View().Graph != g0.View().Graph {
+		t.Error("zero-churn generation compiled a new graph instead of adopting the predecessor's")
+	}
+	if !bytes.Equal(exportDataset(t, g0), exportDataset(t, g1)) {
+		t.Error("zero-churn generations differ in dataset bytes")
+	}
+}
+
+// TestIncrementalFullChurnDegeneratesToRebuild is the second
+// metamorphic property: under saturation churn rates every
+// ownership-reading node must go dirty — the incremental machinery
+// degenerates to (and stays byte-identical with) a full rebuild, and
+// the compiled index cannot be adopted.
+func TestIncrementalFullChurnDegeneratesToRebuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation churn grows the world on every generation")
+	}
+	c := chainCase{seed: 7, rates: churn.Rates{Privatization: 1, Nationalization: 1, NewSubsidiary: 1}, workers: 2}
+	full := chainStore(c, false)
+	inc := chainStore(c, true)
+	for gen := 1; gen <= chainGens; gen++ {
+		if full.Advance() == nil || inc.Advance() == nil {
+			t.Fatalf("saturation advance to generation %d quarantined: full=%v inc=%v",
+				gen, full.Degraded(), inc.Degraded())
+		}
+		st := inc.Current().Stats
+		reused := map[string]bool{}
+		for _, n := range st.ReusedNodes {
+			reused[n] = true
+		}
+		for _, n := range []string{"world", "orbis", "docs", "stage1", "stage2", "stage3"} {
+			if reused[n] {
+				t.Errorf("generation %d: ownership-reading node %q reused under saturation churn", gen, n)
+			}
+		}
+		if st.IndexReused {
+			t.Errorf("generation %d: index adopted although the dataset was rebuilt", gen)
+		}
+	}
+	if inc.Current().TotalEvents == 0 {
+		t.Fatal("saturation rates produced no churn — the degeneration test tested nothing")
+	}
+	assertChainsEqual(t, full, inc)
+}
+
+// TestIncrementalPinnedReadsDuringAdvance is the race regression test:
+// reused artifacts are shared between consecutive generations, so an
+// incremental rebuild mutating anything it reuses would be visible to a
+// reader pinned to the previous generation — under -race, as a report;
+// under any mode, as a byte diff against the pre-advance observation.
+func TestIncrementalPinnedReadsDuringAdvance(t *testing.T) {
+	s := New(Options{
+		Base:        stateowned.Config{Seed: 21, Scale: testScale},
+		Retain:      chainGens + 1,
+		Incremental: true,
+	})
+	hs := serve.NewDynamic(s.Source(), serve.Options{CacheSize: 0}) // no cache: every read hits the index
+	srv := httptest.NewServer(hs)
+	defer srv.Close()
+
+	paths := probePaths(t, s.Current())
+	before := make(map[string]string, len(paths))
+	for _, p := range paths {
+		_, before[p] = fetch(t, srv, pin(p, 0))
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	readErrs := make([]error, 4)
+	for c := 0; c < 4; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				p := paths[i%len(paths)]
+				resp, err := srv.Client().Get(srv.URL + pin(p, 0))
+				if err != nil {
+					readErrs[c] = err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					readErrs[c] = err
+					return
+				}
+				if string(body) != before[p] {
+					readErrs[c] = fmt.Errorf("pinned gen-0 read of %s changed mid-advance", p)
+					return
+				}
+			}
+		}()
+	}
+	for gen := 1; gen <= chainGens; gen++ {
+		if s.Advance() == nil {
+			t.Fatalf("advance %d quarantined: %v", gen, s.Degraded())
+		}
+	}
+	close(done)
+	wg.Wait()
+	for c, err := range readErrs {
+		if err != nil {
+			t.Fatalf("reader %d: %v", c, err)
+		}
+	}
+	// Post-advance, gen 0's bytes must still be exactly the pre-advance
+	// observation even though later generations share its artifacts.
+	for _, p := range paths {
+		if _, body := fetch(t, srv, pin(p, 0)); body != before[p] {
+			t.Errorf("pinned gen-0 read of %s drifted after %d incremental advances", p, chainGens)
+		}
+	}
+}

@@ -140,6 +140,34 @@ type Options struct {
 	// returns (nil = time.After). Tests inject a hand-fired channel so
 	// retry schedules are deterministic.
 	After func(d time.Duration) <-chan time.Time
+	// Incremental turns on dirty-set rebuilds: each generation threads
+	// the previous generation's artifact memo through the pipeline's
+	// build graph, so only nodes whose input fingerprints changed under
+	// churn re-execute; everything else (including the compiled serving
+	// index and graph plane when their inputs are clean) is reused. The
+	// output is provably byte-identical to a full rebuild — the
+	// differential harness in this package's tests enforces it — and
+	// staged incremental builds pass the same validation gate and
+	// two-phase flip as full ones.
+	Incremental bool
+}
+
+// BuildStats reports how much of one generation's build was reused from
+// its predecessor's artifact memo. Zero-valued for full rebuilds. Build
+// metadata only: never part of the dataset, rendered health, or
+// determinism comparisons.
+type BuildStats struct {
+	// NodesTotal is how many build-graph nodes the pipeline has;
+	// NodesReused how many were restored from the memo instead of built.
+	NodesTotal  int
+	NodesReused int
+	// IndexReused/GraphReused report that the compiled serving index /
+	// graph plane were adopted from the previous generation because
+	// every input feeding them was clean.
+	IndexReused bool
+	GraphReused bool
+	// ReusedNodes lists the restored nodes in canonical build order.
+	ReusedNodes []string
 }
 
 // Generation is one fully built dataset generation: the churn-evolved
@@ -160,6 +188,10 @@ type Generation struct {
 	// reach this one (empty for generation 0); TotalEvents is cumulative.
 	Events      []churn.Event
 	TotalEvents int
+	// Stats reports what an incremental build reused from its
+	// predecessor (zero-valued when Options.Incremental is off or no
+	// predecessor memo was available).
+	Stats BuildStats
 
 	view serve.View
 }
@@ -183,6 +215,13 @@ type Store struct {
 	// reloading is true while a rebuild is in flight.
 	reloading atomic.Bool
 	swaps     atomic.Uint64
+	// Cumulative incremental-rebuild counters (zero when Incremental is
+	// off): build-graph nodes executed vs restored, and whole-structure
+	// index/graph adoptions.
+	nodesBuilt  atomic.Uint64
+	nodesReused atomic.Uint64
+	indexReuses atomic.Uint64
+	graphReuses atomic.Uint64
 	// quarantines counts rebuilds the validation gate refused to
 	// publish (cumulative, across recoveries).
 	quarantines atomic.Uint64
@@ -303,10 +342,54 @@ func (s *Store) build(gen int) *Generation {
 		total += len(events)
 	}
 	cfg.World = w
+
+	// Incremental path: thread the immediate predecessor's artifact memo
+	// through the build graph. Only a direct parent qualifies — after a
+	// generation gap (or for generation 0) the build falls back to full.
+	// World construction above is deliberately unchanged: the evolved
+	// world is rebuilt from first principles either way, so a
+	// generation's ground truth never depends on the reuse path.
+	var prev *Generation
+	if s.opts.Incremental {
+		cfg.CaptureMemo = true
+		if p := s.current.Load(); p != nil && p.Gen == gen-1 && p.Result != nil {
+			cfg.Memo = p.Result.Memo
+			prev = p
+		}
+	}
 	res := stateowned.Run(cfg)
+
+	st := BuildStats{NodesTotal: len(res.Health.Timings), NodesReused: len(res.Reused), ReusedNodes: res.Reused}
+	if prev != nil {
+		reused := make(map[string]bool, len(res.Reused))
+		for _, n := range res.Reused {
+			reused[n] = true
+		}
+		// The serving index compiles from the dataset alone, so a reused
+		// stage3 artifact (the identical dataset object) makes the
+		// previous index valid verbatim. The graph plane reads topology,
+		// the monitor set (the cti artifact) and AS2Org.
+		if reused["stage3"] && prev.Index != nil {
+			res.AdoptIndex(prev.Index)
+			st.IndexReused = true
+		}
+		if reused["topology"] && reused["cti"] && reused["as2org"] && prev.view.Graph != nil {
+			res.AdoptGraph(prev.view.Graph)
+			st.GraphReused = true
+		}
+	}
+	s.nodesBuilt.Add(uint64(st.NodesTotal - st.NodesReused))
+	s.nodesReused.Add(uint64(st.NodesReused))
+	if st.IndexReused {
+		s.indexReuses.Add(1)
+	}
+	if st.GraphReused {
+		s.graphReuses.Add(1)
+	}
+
 	g := &Generation{
 		Gen: gen, World: w, Result: res, Index: res.Index(),
-		Events: events, TotalEvents: total,
+		Events: events, TotalEvents: total, Stats: st,
 	}
 	g.view = serve.View{
 		Gen:    gen,
@@ -645,6 +728,14 @@ func (s *Store) Degraded() *Degradation { return s.degraded.Load() }
 // refused to publish (cumulative across recoveries).
 func (s *Store) Quarantines() uint64 { return s.quarantines.Load() }
 
+// IncrementalCounters reports the cumulative dirty-set rebuild
+// counters: build-graph nodes executed vs restored from a memo, and
+// whole compiled index/graph adoptions. All zero when the store runs
+// full rebuilds (Options.Incremental off).
+func (s *Store) IncrementalCounters() (nodesBuilt, nodesReused, indexReuses, graphReuses uint64) {
+	return s.nodesBuilt.Load(), s.nodesReused.Load(), s.indexReuses.Load(), s.graphReuses.Load()
+}
+
 // Retained lists the generation numbers currently in the ring, oldest
 // first.
 func (s *Store) Retained() []int {
@@ -713,6 +804,10 @@ func (ss storeSource) ReloadStatus() serve.ReloadStatus {
 		st.Reason = d.Reason
 		st.ConsecutiveFailures = d.Failures
 		st.GaveUp = d.GaveUp
+	}
+	if ss.s.opts.Incremental {
+		st.Incremental = true
+		st.NodesRebuilt, st.NodesReused, st.IndexReuses, st.GraphReuses = ss.s.IncrementalCounters()
 	}
 	return st
 }

@@ -110,6 +110,15 @@ func runHardened(cfg Config, plan faults.Plan) *Result {
 
 	res := &Result{Config: cfg, Health: h}
 
+	// Incremental rebuilds engage only on the caller-supplied-world path
+	// (the snapshot store): fingerprints must be computable before the
+	// graph runs, which requires the world to already exist.
+	var fps *nodeFPs
+	if cfg.World != nil && (cfg.CaptureMemo || cfg.Memo != nil) {
+		fps = fingerprintInputs(cfg)
+	}
+	memoWiring := memoIO()
+
 	// inject returns the per-source fault stream, or nil (keep all) when
 	// the plan is off or the source has no fault channel.
 	inject := func(source string, spec faults.RecordSpec) *faults.Injector {
@@ -121,7 +130,13 @@ func runHardened(cfg Config, plan faults.Plan) *Result {
 
 	// Graph assembly. Each add captures a per-node note buffer: nodes
 	// never call h.MarkStage directly, so the Stages list stays in
-	// canonical order under any execution interleaving.
+	// canonical order under any execution interleaving. On an
+	// incremental run each node also gets its MemoSpec: the input
+	// fingerprint from fingerprintInputs and a capture/restore pair that
+	// moves the node's Result fields, its Health row and its buffered
+	// notes in and out of the artifact cache. The buildHook wraps only
+	// the real build fn — a restored node never fires it, which is what
+	// lets the metamorphic tests assert "zero nodes executed".
 	g := sched.New()
 	var noteBufs []*[]stageNote
 	add := func(name string, fn func(mark func(string, bool, string)) error, deps ...string) {
@@ -130,12 +145,37 @@ func runHardened(cfg Config, plan faults.Plan) *Result {
 		mark := func(stage string, degraded bool, note string) {
 			*buf = append(*buf, stageNote{stage, degraded, note})
 		}
-		g.Add(name, func() error {
+		wrapped := func() error {
 			if buildHook != nil {
 				buildHook(name)
 			}
 			return fn(mark)
-		}, deps...)
+		}
+		io, memoizable := memoWiring[name]
+		if fps == nil || !memoizable {
+			g.Add(name, wrapped, deps...)
+			return
+		}
+		g.AddMemo(name, sched.MemoSpec{
+			FP: fps.node[name],
+			Capture: func() any {
+				a := memoArtifact{value: io.get(res), notes: append([]stageNote(nil), *buf...)}
+				if io.source != "" {
+					a.health = *h.Source(io.source)
+					a.hasHealth = true
+				}
+				return a
+			},
+			Restore: func(v any) {
+				a := v.(memoArtifact)
+				io.set(res, a.value)
+				if a.hasHealth {
+					*h.Source(io.source) = a.health
+				}
+				*buf = append([]stageNote(nil), a.notes...)
+			},
+			CleanDeps: io.cleanDeps,
+		}, wrapped, deps...)
 	}
 
 	add("world", func(func(string, bool, string)) error {
@@ -232,9 +272,14 @@ func runHardened(cfg Config, plan faults.Plan) *Result {
 	add("cti", func(mark func(string, bool, string)) error {
 		if cfg.DisableCTI {
 			res.CTITop = map[string][]world.ASN{}
+			res.ctiSlices = nil
 			return nil
 		}
-		res.Monitors, res.CTITop = computeCTI(res, cfg, plan, h, workers, mark)
+		var prevCTI *ctiArtifact
+		if fps != nil {
+			prevCTI = prevCTIArtifact(cfg.Memo)
+		}
+		res.Monitors, res.CTITop, res.ctiSlices = computeCTI(res, cfg, plan, h, workers, fps, prevCTI, mark)
 		return nil
 	}, "topology", "geo")
 
@@ -268,7 +313,16 @@ func runHardened(cfg Config, plan faults.Plan) *Result {
 		return nil
 	}, "stage2")
 
-	results := g.Run(workers)
+	var results []sched.NodeResult
+	if fps != nil {
+		var next *sched.Memo
+		results, next = g.RunMemo(workers, cfg.Memo)
+		if cfg.CaptureMemo {
+			res.Memo = next
+		}
+	} else {
+		results = g.Run(workers)
+	}
 
 	// Post-run accounting, all in declaration (= canonical serial)
 	// order: flush each node's deferred stage notes, then translate a
@@ -281,7 +335,10 @@ func runHardened(cfg Config, plan faults.Plan) *Result {
 	}
 	h.Timings = make([]runner.NodeTiming, len(results))
 	for i, r := range results {
-		h.Timings[i] = runner.NodeTiming{Node: r.Name, Wall: r.Wall}
+		h.Timings[i] = runner.NodeTiming{Node: r.Name, Wall: r.Wall, Reused: r.Reused}
+		if r.Reused {
+			res.Reused = append(res.Reused, r.Name)
+		}
 		for _, n := range *noteBufs[i] {
 			h.MarkStage(n.stage, n.degraded, n.note)
 		}
@@ -294,6 +351,12 @@ func runHardened(cfg Config, plan faults.Plan) *Result {
 			h.MarkStage(r.Name, true, fmt.Sprintf("node panicked, substituted empty result: %v", r.Err))
 		}
 	}
+
+	// Scrub the memo inputs off the retained Config: a Result must never
+	// pin the previous generation's artifact cache (and through it, a
+	// transitive chain of every generation ever built).
+	res.Config.Memo = nil
+	res.Config.CaptureMemo = false
 
 	// Empty fallbacks for anything a panicked node failed to produce,
 	// mirroring the old guardStage contract: downstream consumers see an

@@ -102,6 +102,20 @@ type Config struct {
 	// (0 = derive from Seed), so one world can be replayed under many
 	// fault episodes.
 	ChaosSeed uint64
+
+	// Memo supplies the previous build's artifact cache for an
+	// incremental rebuild: nodes whose input fingerprints match re-adopt
+	// the memoized artifact instead of rebuilding, provably without
+	// changing a byte of output. Only consulted when World is non-nil
+	// (the snapshot store's rebuild path) — a generated-world run always
+	// builds from scratch. The memo is not retained on the Result's
+	// Config (it is scrubbed after the run) so holding a Result never
+	// pins the previous generation's artifacts.
+	Memo *sched.Memo
+	// CaptureMemo asks the run to capture its own artifact cache into
+	// Result.Memo for the next incremental rebuild. Like Memo it is
+	// only honored when World is non-nil.
+	CaptureMemo bool
 }
 
 // DefaultConfig is the configuration all experiments run with.
@@ -134,11 +148,47 @@ type Result struct {
 	// ran degraded. Always populated; all-healthy on a pristine run.
 	Health *runner.Health
 
+	// Memo is the artifact cache captured for the next incremental
+	// rebuild (Config.CaptureMemo); nil otherwise. Like Health.Timings it
+	// is build metadata: it must never feed into rendered output or
+	// determinism comparisons.
+	Memo *sched.Memo
+	// Reused lists, in canonical node order, the build-graph nodes whose
+	// artifacts were restored from Config.Memo instead of rebuilt. Empty
+	// on a full build. Build metadata, like Memo.
+	Reused []string
+
+	// ctiSlices is the per-country CTI slice memo riding inside the cti
+	// node's artifact (see incremental.go).
+	ctiSlices map[string]ctiSlice
+
 	indexOnce sync.Once
 	index     *serve.Index
 
 	graphOnce sync.Once
 	graph     *graph.Graph
+}
+
+// AdoptIndex pre-seeds the lazily compiled serving index with one built
+// from an identical dataset — the snapshot store calls it when an
+// incremental rebuild proved the dataset unchanged, so the previous
+// generation's index (immutable, safe to share) serves the new one too.
+// A nil index, or an index already compiled, is ignored.
+func (r *Result) AdoptIndex(idx *serve.Index) {
+	if idx == nil {
+		return
+	}
+	r.indexOnce.Do(func() { r.index = idx })
+}
+
+// AdoptGraph pre-seeds the lazily compiled relationship query plane,
+// the graph-plane analogue of AdoptIndex: safe exactly when the
+// topology, monitor set and AS2Org inputs are unchanged.
+func (r *Result) AdoptGraph(g *graph.Graph) {
+	if g == nil {
+		return
+	}
+	r.graphOnce.Do(func() { r.graph = g })
 }
 
 // Index compiles (once, lazily) the run's dataset into the serving
@@ -199,8 +249,19 @@ const minMonitorQuorum = 2
 // is the CTI paper's own observation). Stage notes go through mark
 // rather than straight into Health so the scheduler can flush them in
 // canonical node order regardless of execution interleaving.
+//
+// On an incremental rebuild (fps non-nil), the per-country computations
+// are memoized individually: each country's slice fingerprint covers
+// everything its computation reads — the config, the built topology's
+// full content, the live monitor set, and the country's geolocation
+// slice — and a country whose fingerprint matches the previous
+// generation's slice (prev) reuses its picks without collecting paths
+// for its origins. When the topology node re-ran but produced an
+// identical graph, every slice proves clean and the CTI re-run
+// degenerates to hashing.
 func computeCTI(res *Result, cfg Config, plan faults.Plan, h *runner.Health, workers int,
-	mark func(stage string, degraded bool, note string)) ([]bgp.Monitor, map[string][]world.ASN) {
+	fps *nodeFPs, prev *ctiArtifact,
+	mark func(stage string, degraded bool, note string)) ([]bgp.Monitor, map[string][]world.ASN, map[string]ctiSlice) {
 	monitors := bgp.SelectMonitors(res.World, res.Topology, cfg.Monitors)
 	if plan.Enabled() && plan.BGP.MonitorOutageRate > 0 {
 		inj := plan.Injector("bgp", faults.RecordSpec{DropRate: plan.BGP.MonitorOutageRate})
@@ -210,7 +271,7 @@ func computeCTI(res *Result, cfg Config, plan faults.Plan, h *runner.Health, wor
 		if len(monitors) < minMonitorQuorum {
 			h.MarkUnavailable("bgp", "monitor set below quorum")
 			mark("cti", true, "too few live monitors; CTI skipped")
-			return nil, map[string][]world.ASN{}
+			return nil, map[string][]world.ASN{}, nil
 		}
 	}
 
@@ -254,14 +315,60 @@ func computeCTI(res *Result, cfg Config, plan faults.Plan, h *runner.Health, wor
 		ctiCountries = append(ctiCountries, c.cc)
 	}
 
-	originSet := map[world.ASN]bool{}
 	perCountry := map[string][]world.ASN{}
 	for _, cc := range ctiCountries {
 		for _, tr := range res.Geo.CountryOrigins(cc) {
-			originSet[tr.Origin] = true
 			perCountry[cc] = append(perCountry[cc], tr.Origin)
 		}
 		world.SortASNs(perCountry[cc])
+	}
+
+	// Slice memo: fingerprint each country's full read set and mark the
+	// countries whose previous-generation slice no longer matches.
+	reuse := fps != nil
+	var sliceFPs map[string]sched.Fingerprint
+	if reuse {
+		topoFP := topologyContentFP(res.Topology)
+		monFP := monitorsContentFP(monitors)
+		sliceFPs = make(map[string]sched.Fingerprint, len(ctiCountries))
+		for _, cc := range ctiCountries {
+			sh := sched.NewHasher("cti/slice")
+			sh.FP(fps.cfg)
+			sh.FP(topoFP)
+			sh.FP(monFP)
+			sh.Str(cc)
+			sh.U64(res.Geo.TotalIn(cc))
+			sh.I64(int64(len(perCountry[cc])))
+			for _, o := range perCountry[cc] {
+				sh.U64(uint64(o))
+				np := res.Geo.NumPrefixes(o)
+				sh.I64(int64(np))
+				for pi := 0; pi < np; pi++ {
+					sh.U64(res.Geo.AddressesIn(o, pi, cc))
+				}
+			}
+			sliceFPs[cc] = sh.Sum()
+		}
+	}
+	ccPicks := make([][]world.ASN, len(ctiCountries))
+	var dirtyIdx []int
+	for i, cc := range ctiCountries {
+		if reuse && prev != nil {
+			if ps, ok := prev.slices[cc]; ok && ps.fp == sliceFPs[cc] {
+				ccPicks[i] = ps.picks
+				continue
+			}
+		}
+		dirtyIdx = append(dirtyIdx, i)
+	}
+
+	// Paths are only collected for the origins the dirty countries need;
+	// on a fully clean re-run the collection is empty.
+	originSet := map[world.ASN]bool{}
+	for _, i := range dirtyIdx {
+		for _, o := range perCountry[ctiCountries[i]] {
+			originSet[o] = true
+		}
 	}
 	origins := make([]world.ASN, 0, len(originSet))
 	for o := range originSet {
@@ -274,21 +381,28 @@ func computeCTI(res *Result, cfg Config, plan faults.Plan, h *runner.Health, wor
 	// Per-country CTI computations are independent reads over the frozen
 	// path collection and geo snapshot: fan them out, each iteration
 	// owning its result slot, then assemble the map in canonical order.
-	picks := make([][]world.ASN, len(ctiCountries))
-	sched.ParallelFor(workers, len(ctiCountries), func(i int) {
+	sched.ParallelFor(workers, len(dirtyIdx), func(k int) {
+		i := dirtyIdx[k]
 		cc := ctiCountries[i]
 		scores := comp.Country(cc, perCountry[cc], res.Geo.NumPrefixes, res.Geo)
 		for _, s := range cti.TopK(scores, candidates.CTITopK) {
-			picks[i] = append(picks[i], s.AS)
+			ccPicks[i] = append(ccPicks[i], s.AS)
 		}
 	})
-	top := make(map[string][]world.ASN, len(ctiCountries))
-	for i, cc := range ctiCountries {
-		if len(picks[i]) > 0 {
-			top[cc] = picks[i]
+	var slices map[string]ctiSlice
+	if reuse {
+		slices = make(map[string]ctiSlice, len(ctiCountries))
+		for i, cc := range ctiCountries {
+			slices[cc] = ctiSlice{fp: sliceFPs[cc], picks: ccPicks[i]}
 		}
 	}
-	return monitors, top
+	top := make(map[string][]world.ASN, len(ctiCountries))
+	for i, cc := range ctiCountries {
+		if len(ccPicks[i]) > 0 {
+			top[cc] = ccPicks[i]
+		}
+	}
+	return monitors, top, slices
 }
 
 // runStage1 assembles the candidate inputs, honoring ablation switches.
