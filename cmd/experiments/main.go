@@ -8,11 +8,12 @@
 //
 // Sections: stage1, headline, figure1, figure3, figure4, figure5,
 // figure6, figure7, table1..table8, rirshares, appendixE, orbis, score,
-// timings, robustness. Default: all except timings and robustness —
-// timings reports nondeterministic per-node build wall times (every
-// other section is byte-reproducible for a seed), and the
-// degradation-curve sweep reruns the whole pipeline at six fault
-// severities; both only run when selected explicitly.
+// timings, robustness, hijacks. Default: all except timings, robustness
+// and hijacks — timings reports nondeterministic per-node build wall
+// times (every other section is byte-reproducible for a seed), and the
+// degradation-curve sweeps (robustness over fault severities, hijacks
+// over adversary severity and ROV deployment) rerun the whole pipeline
+// once per point; all three only run when selected explicitly.
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"stateowned"
 	"stateowned/internal/analysis"
 	"stateowned/internal/ccodes"
+	"stateowned/internal/hijack"
 	"stateowned/internal/report"
 	"stateowned/internal/world"
 )
@@ -34,6 +36,7 @@ func main() {
 	workers := flag.Int("workers", 0, "build-scheduler pool size (0 = GOMAXPROCS, 1 = serial; results are identical either way)")
 	only := flag.String("only", "", "comma-separated list of sections (default: all)")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "fault-plan seed for the robustness sweep (0 = derive from -seed)")
+	hijackSeed := flag.Uint64("hijack-seed", 0, "campaign-roster seed for the hijacks sweep (0 = derive from -seed)")
 	csvDir := flag.String("csv", "", "also write figure data as CSV files into this directory")
 	flag.Parse()
 
@@ -52,12 +55,12 @@ func main() {
 			want[s] = true
 		}
 	}
-	// Two sections are opt-in: the robustness sweep reruns the full
-	// pipeline once per severity and would multiply the default
+	// Three sections are opt-in: the robustness and hijacks sweeps rerun
+	// the full pipeline once per point and would multiply the default
 	// invocation's cost, and timings is the one nondeterministic section
 	// (measured wall times) in an otherwise byte-reproducible report.
 	sel := func(name string) bool {
-		if name == "robustness" || name == "timings" {
+		if name == "robustness" || name == "timings" || name == "hijacks" {
 			return want[name]
 		}
 		return len(want) == 0 || want[name]
@@ -103,6 +106,7 @@ func main() {
 		{"score", func() string { return renderScores(d) }},
 		{"timings", func() string { return res.Health.RenderTimings() }},
 		{"robustness", func() string { return renderRobustness(*seed, *scale, *chaosSeed, res) }},
+		{"hijacks", func() string { return renderHijacks(*seed, *scale, *hijackSeed, res) }},
 	}
 	known := map[string]bool{}
 	for _, s := range sections {
@@ -213,6 +217,67 @@ func renderRobustness(seed uint64, scale float64, chaosSeed uint64, baseline *st
 		})
 	}
 	return analysis.RenderDegradation(pts)
+}
+
+// hijackSweep lists the (severity, ROV fraction) points of the
+// adversarial-routing degradation curves: the severity axis at zero ROV
+// deployment shows how classification quality and CTI decay as the
+// campaign roster grows, and the ROV axis at full severity shows origin
+// validation clawing that quality back until, at rov=1.0, every
+// campaign is neutralized and the run is byte-identical to the honest
+// baseline.
+var hijackSweep = []struct{ severity, rov float64 }{
+	{0, 0},
+	{0.25, 0}, {0.5, 0}, {0.75, 0}, {1, 0},
+	{1, 0.25}, {1, 0.5}, {1, 0.75}, {1, 1},
+}
+
+func renderHijacks(seed uint64, scale float64, hijackSeed uint64, baseline *stateowned.Result) string {
+	// ctiChurn counts per-country CTI top-candidate slots the polluted run
+	// disagrees with the honest baseline on — the propagation-layer damage
+	// that precedes any classification change.
+	ctiChurn := func(res *stateowned.Result) int {
+		churn := 0
+		for cc, base := range baseline.CTITop {
+			got := res.CTITop[cc]
+			for i, asn := range base {
+				if i >= len(got) || got[i] != asn {
+					churn++
+				}
+			}
+		}
+		for cc, got := range res.CTITop {
+			if base := baseline.CTITop[cc]; len(got) > len(base) {
+				churn += len(got) - len(base)
+			}
+		}
+		return churn
+	}
+	t := report.NewTable("Classification and detection vs. hijack severity and ROV deployment",
+		"severity", "rov", "precision", "recall", "cti-churn", "detections", "campaigns", "detected", "det-recall")
+	for _, pt := range hijackSweep {
+		res := baseline
+		if pt.severity > 0 {
+			fmt.Fprintf(os.Stderr, "running hijacked pipeline (severity=%.2f rov=%.2f)...\n", pt.severity, pt.rov)
+			res = stateowned.Run(stateowned.Config{
+				Seed: seed, Scale: scale,
+				HijackSeverity: pt.severity, HijackSeed: hijackSeed, ROVFraction: pt.rov,
+			})
+		}
+		s := analysis.ComputeScore(res.AnalysisData(), nil)
+		plan := hijack.NewPlan(res.World, res.Topology, hijack.Config{
+			Severity: pt.severity, Seed: hijackSeed, ROVFraction: pt.rov,
+		})
+		detected := plan.Detected(res.Hijacks)
+		detRecall := "-"
+		if n := len(plan.Campaigns); n > 0 {
+			detRecall = fmt.Sprintf("%.2f", float64(detected)/float64(n))
+		}
+		t.AddRow(fmt.Sprintf("%.2f", pt.severity), fmt.Sprintf("%.2f", pt.rov),
+			fmt.Sprintf("%.3f", s.Precision), fmt.Sprintf("%.3f", s.Recall),
+			ctiChurn(res), len(res.Hijacks.Detections), len(plan.Campaigns), detected, detRecall)
+	}
+	return t.String()
 }
 
 func renderScores(d *analysis.Data) string {

@@ -18,9 +18,14 @@
 //	query [-seed N] [-scale F] -upstreams 7473
 //	query [-seed N] [-scale F] -cone 7473
 //	query [-seed N] [-scale F] -path 7473:3356
+//	query [-seed N] [-scale F] -hijack 0.4 [-rov-fraction 0.25] -hijacks
 //
 // The query modes (-asn, -country, -neighbors, -upstreams, -cone,
-// -path) are mutually exclusive — pick exactly one. -gen N answers
+// -path, -hijacks) are mutually exclusive — pick exactly one. The
+// adversary knobs (-hijack, -hijack-seed, -rov-fraction) parameterize
+// the world build like -seed does: -hijacks prints the detection
+// report an honest origin-vs-ownership scan produces over the polluted
+// paths (empty without -hijack, exactly as /v1/hijacks serves it). -gen N answers
 // from dataset generation N — the world aged N steps under the seeded
 // ownership-churn model, rebuilt through the full pipeline — matching
 // what a cmd/serve instance with the same seeds serves for ?gen=N.
@@ -43,6 +48,7 @@ import (
 	"stateowned/internal/expand"
 	"stateowned/internal/fleet"
 	"stateowned/internal/graph"
+	"stateowned/internal/hijack"
 	"stateowned/internal/report"
 	"stateowned/internal/serve"
 	"stateowned/internal/snapshot"
@@ -59,12 +65,16 @@ func main() {
 	upstreams := flag.Uint64("upstreams", 0, "rank the transits an ASN's observed paths depend on")
 	cone := flag.Uint64("cone", 0, "print an ASN's transitive customer cone")
 	pathPair := flag.String("path", "", "valley-free shortest path between two ASNs, as FROM:TO")
+	hijacks := flag.Bool("hijacks", false, "print the generation's hijack detection report (/v1/hijacks)")
+	hijackSev := flag.Float64("hijack", 0, "routing-adversary severity in [0,1] (0 = off)")
+	hijackSeed := flag.Uint64("hijack-seed", 0, "campaign-roster seed (0 = derive from -seed)")
+	rovFraction := flag.Float64("rov-fraction", 0, "route-origin-validation deployment fraction in [0,1]")
 	gen := flag.Int("gen", 0, "dataset generation to answer from (0 = the pristine build)")
 	shards := flag.Int("shards", 0, "fleet diagnostic: also print which shard of an N-shard fleet owns -asn (0 = off)")
 	churnSeed := flag.Uint64("churn-seed", 0, "ownership-churn schedule seed (0 = derive from -seed)")
 	flag.Parse()
 	modes := 0
-	for _, on := range []bool{*asn != 0, *country != "", *neighbors != 0, *upstreams != 0, *cone != 0, *pathPair != ""} {
+	for _, on := range []bool{*asn != 0, *country != "", *neighbors != 0, *upstreams != 0, *cone != 0, *pathPair != "", *hijacks} {
 		if on {
 			modes++
 		}
@@ -76,11 +86,17 @@ func main() {
 	case *gen < 0:
 		fmt.Fprintln(os.Stderr, "query: invalid -gen: must be >= 0")
 		os.Exit(2)
+	case *hijackSev < 0 || *hijackSev > 1:
+		fmt.Fprintln(os.Stderr, "query: invalid -hijack: severity must be in [0,1]")
+		os.Exit(2)
+	case *rovFraction < 0 || *rovFraction > 1:
+		fmt.Fprintln(os.Stderr, "query: invalid -rov-fraction: must be in [0,1]")
+		os.Exit(2)
 	case modes == 0:
-		fmt.Fprintln(os.Stderr, "query: need one of -asn, -country, -neighbors, -upstreams, -cone or -path")
+		fmt.Fprintln(os.Stderr, "query: need one of -asn, -country, -neighbors, -upstreams, -cone, -path or -hijacks")
 		os.Exit(2)
 	case modes > 1:
-		fmt.Fprintln(os.Stderr, "query: -asn, -country, -neighbors, -upstreams, -cone and -path are mutually exclusive; pick one query mode")
+		fmt.Fprintln(os.Stderr, "query: -asn, -country, -neighbors, -upstreams, -cone, -path and -hijacks are mutually exclusive; pick one query mode")
 		os.Exit(2)
 	case *class != "" && *neighbors == 0:
 		fmt.Fprintln(os.Stderr, "query: -class only applies to -neighbors")
@@ -109,18 +125,23 @@ func main() {
 		}
 	}
 
+	base := stateowned.Config{
+		Seed: *seed, Scale: *scale,
+		HijackSeverity: *hijackSev, HijackSeed: *hijackSeed, ROVFraction: *rovFraction,
+	}
 	var idx *serve.Index
 	var ds *expand.Dataset
 	var graphOf func() *graph.Graph
+	var rep *hijack.Report
 	if *gen == 0 && *churnSeed == 0 {
-		res := stateowned.Run(stateowned.Config{Seed: *seed, Scale: *scale})
-		idx, ds, graphOf = res.Index(), res.Dataset, res.Graph
+		res := stateowned.Run(base)
+		idx, ds, graphOf, rep = res.Index(), res.Dataset, res.Graph, res.Hijacks
 	} else {
 		// A churned generation: the snapshot store rebuilds the world
 		// through -gen seeded churn steps, exactly what a cmd/serve
 		// instance with the same seeds answers for ?gen=N.
 		store := snapshot.New(snapshot.Options{
-			Base:      stateowned.Config{Seed: *seed, Scale: *scale},
+			Base:      base,
 			ChurnSeed: *churnSeed,
 			Retain:    *gen + 1,
 		})
@@ -132,7 +153,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "query: generation %d unavailable\n", *gen)
 			os.Exit(2)
 		}
-		idx, ds, graphOf = g.Index, g.Result.Dataset, g.Result.Graph
+		idx, ds, graphOf, rep = g.Index, g.Result.Dataset, g.Result.Graph, g.Result.Hijacks
 	}
 
 	switch {
@@ -149,9 +170,37 @@ func main() {
 		queryUpstreams(graphOf(), world.ASN(*upstreams))
 	case *cone != 0:
 		queryCone(graphOf(), world.ASN(*cone))
+	case *hijacks:
+		queryHijacks(rep)
 	default:
 		queryPath(graphOf(), from, to)
 	}
+}
+
+// queryHijacks prints the generation's origin-change detections — the
+// same report /v1/hijacks serves, as a table.
+func queryHijacks(rep *hijack.Report) {
+	if rep == nil || len(rep.Detections) == 0 {
+		mon := 0
+		if rep != nil {
+			mon = rep.Monitors
+		}
+		fmt.Printf("no origin changes detected (%d monitors)\n", mon)
+		return
+	}
+	t := report.NewTable(fmt.Sprintf("Observed origin changes (%d monitors)", rep.Monitors),
+		"victim ASN", "observed origin", "monitors", "victim cc", "observed cc", "state-owned", "cross-border")
+	for _, d := range rep.Detections {
+		so, xb := "", ""
+		if d.VictimStateOwned {
+			so = "yes"
+		}
+		if d.CrossBorder {
+			xb = "yes"
+		}
+		t.AddRow(uint32(d.Victim), uint32(d.Observed), d.Monitors, d.VictimCountry, d.ObservedCountry, so, xb)
+	}
+	fmt.Println(t.String())
 }
 
 // parsePathPair splits a FROM:TO flag value into two ASNs.

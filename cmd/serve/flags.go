@@ -27,12 +27,15 @@ type config struct {
 	addr string
 
 	// World-build knobs (single and shard modes).
-	seed      uint64
-	scale     float64
-	workers   int
-	chaos     float64
-	chaosSeed uint64
-	churnSeed uint64
+	seed        uint64
+	scale       float64
+	workers     int
+	chaos       float64
+	chaosSeed   uint64
+	churnSeed   uint64
+	hijack      float64
+	hijackSeed  uint64
+	rovFraction float64
 
 	// Serving knobs.
 	cacheSize      int
@@ -74,6 +77,9 @@ func parseFlags(args []string, output io.Writer) (config, error) {
 	fs.IntVar(&cfg.workers, "workers", 0, "build-scheduler pool size (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
 	fs.Float64Var(&cfg.chaos, "chaos", 0, "fault-injection severity in [0,1] (0 = off)")
 	fs.Uint64Var(&cfg.chaosSeed, "chaos-seed", 0, "fault-plan seed (0 = derive from -seed)")
+	fs.Float64Var(&cfg.hijack, "hijack", 0, "routing-adversary severity in [0,1] (0 = off): seeded prefix-hijack campaigns pollute monitor paths and feed /v1/hijacks")
+	fs.Uint64Var(&cfg.hijackSeed, "hijack-seed", 0, "campaign-roster seed (0 = derive from -seed)")
+	fs.Float64Var(&cfg.rovFraction, "rov-fraction", 0, "route-origin-validation deployment fraction in [0,1]; 1.0 neutralizes every campaign (byte-identical to an honest run)")
 	fs.IntVar(&cfg.cacheSize, "cache", 1024, "response-cache capacity in entries (0 disables caching)")
 	fs.DurationVar(&cfg.reloadEvery, "reload-every", 0, "single mode: rebuild and hot-swap the next dataset generation on this cadence (0 = serve generation 0 forever)")
 	fs.IntVar(&cfg.generations, "generations", snapshot.DefaultRetain, "retention ring: how many generations stay pinnable via ?gen=N")
@@ -125,6 +131,10 @@ func validate(cfg *config, set map[string]bool) error {
 		return fmt.Errorf("invalid -workers: must be >= 0")
 	case cfg.chaos < 0 || cfg.chaos > 1:
 		return fmt.Errorf("invalid -chaos: severity must be in [0,1]")
+	case cfg.hijack < 0 || cfg.hijack > 1:
+		return fmt.Errorf("invalid -hijack: severity must be in [0,1]")
+	case cfg.rovFraction < 0 || cfg.rovFraction > 1:
+		return fmt.Errorf("invalid -rov-fraction: must be in [0,1]")
 	case cfg.cacheSize < 0:
 		return fmt.Errorf("invalid -cache: must be >= 0")
 	case cfg.reloadEvery < 0:
@@ -177,6 +187,7 @@ func validate(cfg *config, set map[string]bool) error {
 		// is a contradiction (the shards build the world; the coordinator,
 		// not a timer, reloads it).
 		if err := reject("seed", "scale", "workers", "chaos", "chaos-seed", "churn-seed",
+			"hijack", "hijack-seed", "rov-fraction",
 			"generations", "cache", "reload-every", "reload-max-churn", "reload-max-failures",
 			"incremental", "shard-index"); err != nil {
 			return err

@@ -49,6 +49,14 @@ func TestParseFlagsModeValidation(t *testing.T) {
 		{name: "router empty addr", args: []string{"-mode", "router", "-shard-addrs", "a:1,,b:2"}, wantErr: "empty address"},
 		{name: "positional garbage", args: []string{"extra"}, wantErr: "unexpected arguments"},
 		{name: "bad scale still caught", args: []string{"-scale", "0"}, wantErr: "invalid -scale"},
+		{name: "single with hijack", args: []string{"-hijack", "0.5", "-hijack-seed", "7", "-rov-fraction", "0.25"}},
+		{name: "shard with hijack", args: []string{"-mode", "shard", "-shards", "2", "-shard-index", "0", "-hijack", "1"}},
+		{name: "hijack out of range", args: []string{"-hijack", "1.5"}, wantErr: "invalid -hijack"},
+		{name: "hijack negative", args: []string{"-hijack", "-0.1"}, wantErr: "invalid -hijack"},
+		{name: "rov out of range", args: []string{"-rov-fraction", "2"}, wantErr: "invalid -rov-fraction"},
+		{name: "router with hijack", args: []string{"-mode", "router", "-shard-addrs", "a:1", "-hijack", "0.5"}, wantErr: "-hijack contradicts -mode router"},
+		{name: "router with hijack-seed", args: []string{"-mode", "router", "-shard-addrs", "a:1", "-hijack-seed", "7"}, wantErr: "-hijack-seed contradicts -mode router"},
+		{name: "router with rov-fraction", args: []string{"-mode", "router", "-shard-addrs", "a:1", "-rov-fraction", "1"}, wantErr: "-rov-fraction contradicts -mode router"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -121,6 +121,8 @@ func buildStore(cfg config) *snapshot.Store {
 		Base: stateowned.Config{
 			Seed: cfg.seed, Scale: cfg.scale, Workers: cfg.workers,
 			ChaosSeverity: cfg.chaos, ChaosSeed: cfg.chaosSeed,
+			HijackSeverity: cfg.hijack, HijackSeed: cfg.hijackSeed,
+			ROVFraction: cfg.rovFraction,
 		},
 		ChurnSeed:   cfg.churnSeed,
 		Retain:      cfg.generations,

@@ -1,0 +1,135 @@
+package stateowned
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"stateowned/internal/hijack"
+)
+
+// The metamorphic battery: properties that must hold across knob sweeps
+// without any oracle for the individual values.
+//
+//   - ROV is a defense: campaign recall is monotone non-increasing in
+//     the deployment fraction, reaching zero at full deployment.
+//   - Severity is an attack budget: the roster is prefix-nested, so the
+//     set of detected origin changes only ever grows with severity.
+//
+// Plus a golden fixture pinning the full seed-42 detection report, so
+// intentional changes to the adversary model surface as reviewable
+// diffs (regenerate with `go test -run GoldenHijack -update`).
+
+const goldenHijacksFile = "golden_hijacks_seed42.json"
+
+func hijackRun(sev, rov float64) (*Result, *hijack.Plan) {
+	res := Run(Config{Seed: 42, Scale: detScale, HijackSeverity: sev, ROVFraction: rov})
+	plan := hijack.NewPlan(res.World, res.Topology, hijack.Config{Severity: sev, ROVFraction: rov})
+	return res, plan
+}
+
+func TestHijackRecallMonotoneInROV(t *testing.T) {
+	const sev = 1.0
+	fractions := []float64{0, 0.25, 0.5, 0.75, 1}
+	prev := 2.0 // above any real recall
+	for _, rov := range fractions {
+		res, plan := hijackRun(sev, rov)
+		recall := plan.Recall(res.Hijacks)
+		t.Logf("rov=%.2f: %d campaigns, %d detections, recall %.3f",
+			rov, len(plan.Campaigns), len(res.Hijacks.Detections), recall)
+		if recall > prev {
+			t.Errorf("recall rose from %.3f to %.3f when ROV deployment grew to %.2f", prev, recall, rov)
+		}
+		prev = recall
+		switch rov {
+		case 0:
+			if recall == 0 {
+				t.Error("undefended full-severity adversary has zero recall; sweep is vacuous")
+			}
+		case 1:
+			if recall != 0 {
+				t.Errorf("full ROV deployment left recall at %.3f", recall)
+			}
+		}
+	}
+}
+
+func TestHijackDetectionsMonotoneInSeverity(t *testing.T) {
+	type change struct{ victim, observed uint32 }
+	prevSet := map[change]bool{}
+	prevCount := 0
+	for _, sev := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		res, _ := hijackRun(sev, 0)
+		if n := len(res.Hijacks.Detections); n < prevCount {
+			t.Errorf("severity %.2f detected %d origin changes, fewer than the %d at a lower severity",
+				sev, n, prevCount)
+		}
+		// Prefix-nested rosters mean earlier campaigns still run: every
+		// previously detected (victim, observed) pair must persist.
+		cur := map[change]bool{}
+		for _, d := range res.Hijacks.Detections {
+			cur[change{uint32(d.Victim), uint32(d.Observed)}] = true
+		}
+		for ch := range prevSet {
+			if !cur[ch] {
+				t.Errorf("severity %.2f lost the %d→%d origin change detected at a lower severity",
+					sev, ch.victim, ch.observed)
+			}
+		}
+		prevSet, prevCount = cur, len(res.Hijacks.Detections)
+	}
+	if prevCount == 0 {
+		t.Error("full severity detected nothing; sweep is vacuous")
+	}
+}
+
+// TestGoldenHijackReport pins the seed-42 detection report byte for
+// byte, the same way TestGoldenDataset pins the Listing-1 export.
+func TestGoldenHijackReport(t *testing.T) {
+	res, plan := hijackRun(0.75, 0.25)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		Campaigns int            `json:"campaigns_planned"`
+		Report    *hijack.Report `json:"report"`
+		PerKind   map[string]int `json:"campaigns_by_kind"`
+		Detected  int            `json:"campaigns_detected"`
+	}{
+		Campaigns: len(plan.Campaigns),
+		Report:    res.Hijacks,
+		PerKind:   campaignsByKind(plan),
+		Detected:  plan.Detected(res.Hijacks),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+	path := filepath.Join("testdata", goldenHijacksFile)
+
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with `go test -run GoldenHijack -update`): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("seed-42 hijack report drifted from %s:\n%s\nif the change is intentional, regenerate with `go test -run GoldenHijack -update`",
+			path, firstDiff(want, got))
+	}
+}
+
+func campaignsByKind(p *hijack.Plan) map[string]int {
+	out := map[string]int{}
+	for _, c := range p.Campaigns {
+		out[fmt.Sprint(c.Kind)]++
+	}
+	return out
+}

@@ -21,6 +21,7 @@ import (
 	"stateowned/internal/expand"
 	"stateowned/internal/eyeballs"
 	"stateowned/internal/geo"
+	"stateowned/internal/hijack"
 	"stateowned/internal/orbis"
 	"stateowned/internal/peeringdb"
 	"stateowned/internal/runner"
@@ -69,6 +70,13 @@ func fingerprintInputs(cfg Config) *nodeFPs {
 		chaos = cfg.Seed
 	}
 	ch.U64(chaos)
+	ch.F64(cfg.HijackSeverity)
+	hjSeed := cfg.HijackSeed
+	if hjSeed == 0 {
+		hjSeed = cfg.Seed
+	}
+	ch.U64(hjSeed)
+	ch.F64(cfg.ROVFraction)
 	cfgFP := ch.Sum()
 
 	mk := func(domain string, parts ...sched.Fingerprint) sched.Fingerprint {
@@ -102,6 +110,11 @@ func fingerprintInputs(cfg Config) *nodeFPs {
 			// CTI reads the topology and geo artifacts (dirtying deps) plus
 			// world structure (country profiles) and config.
 			"cti": mk("node/cti", structFP),
+			// The adversary reads world structure (prefixes, ICT, ROV
+			// thresholds) and ownership (the detection report's ground
+			// truth); its dirtying deps on topology and cti carry the
+			// rest.
+			"hijack": mk("node/hijack", structFP, ownFP),
 			// The stages read only upstream artifacts; dirtying deps on
 			// every source (stage1) and the predecessor stage (2, 3) carry
 			// all content sensitivity.
@@ -196,6 +209,10 @@ func memoIO() map[string]nodeMemoIO {
 				a := v.(*ctiArtifact)
 				r.Monitors, r.CTITop, r.ctiSlices = a.monitors, a.top, a.slices
 			},
+		},
+		"hijack": {
+			get: func(r *Result) any { return r.Hijacks },
+			set: func(r *Result, v any) { r.Hijacks, _ = v.(*hijack.Report) },
 		},
 		"stage1": {
 			get: func(r *Result) any { return r.Candidates },

@@ -20,7 +20,7 @@ const incScale = 0.08
 // allNodes is every build-graph node, in declaration order.
 var allNodes = []string{
 	"world", "topology", "geo", "eyeballs", "whois", "peeringdb",
-	"as2org", "orbis", "docs", "cti", "stage1", "stage2", "stage3",
+	"as2org", "orbis", "docs", "cti", "hijack", "stage1", "stage2", "stage3",
 }
 
 func incWorld(t *testing.T, seed uint64, churnSteps int) *world.World {

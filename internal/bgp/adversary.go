@@ -1,0 +1,339 @@
+// Adversarial origination: seeded prefix-hijack campaigns layered on the
+// honest Gao-Rexford simulator. Each campaign is one invalid announcement
+// competing with the victim's legitimate route inside the same valley-free
+// selection; per-AS ROV flags gate both adoption and re-export of the
+// invalid route, so raising ROV deployment can only shrink the infected
+// set. The honest route field is computed first and never perturbed — we
+// model pollution of observed paths, not withdrawal-induced re-selection —
+// which is exactly what makes rov=1.0 runs byte-identical to the honest
+// simulator.
+
+package bgp
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"stateowned/internal/topology"
+	"stateowned/internal/world"
+)
+
+// CampaignKind classifies how an invalid announcement is shaped.
+type CampaignKind uint8
+
+const (
+	// ExactPrefix re-originates the victim's exact prefix from the
+	// hijacker: it wins only where Gao-Rexford prefers it over the
+	// honest route, and detection sees the hijacker as origin.
+	ExactPrefix CampaignKind = iota
+	// SubPrefix announces a more-specific of the victim's prefix:
+	// longest-prefix match means every AS the announcement reaches
+	// routes via it regardless of preference.
+	SubPrefix
+	// ForgedPath re-originates the exact prefix behind a fabricated
+	// upstream tail ending in the victim, so the observed origin stays
+	// the registered one — the campaign evades origin-based detection
+	// while still polluting transit observations.
+	ForgedPath
+)
+
+// String names the kind for reports and tables.
+func (k CampaignKind) String() string {
+	switch k {
+	case ExactPrefix:
+		return "exact-prefix"
+	case SubPrefix:
+		return "sub-prefix"
+	case ForgedPath:
+		return "forged-path"
+	}
+	return "unknown"
+}
+
+// Campaign is one invalid announcement: Hijacker claims (part of) a
+// prefix registered to Victim. Forged lists the fabricated intermediate
+// hops of a ForgedPath announcement, hijacker-adjacent first; the wire
+// path a polluted monitor observes is
+//
+//	monitor ... hijacker, Forged..., Victim   (ForgedPath)
+//	monitor ... hijacker                       (ExactPrefix, SubPrefix)
+type Campaign struct {
+	Kind     CampaignKind
+	Victim   world.ASN
+	Hijacker world.ASN
+	Forged   []world.ASN
+}
+
+// Adversary bundles a generation's campaigns with the ROV deployment set
+// gating them. A nil or campaign-less adversary is inert and the
+// collectors below delegate to the honest path.
+type Adversary struct {
+	Campaigns []Campaign
+	ROV       map[world.ASN]bool
+}
+
+// Active reports whether the adversary can perturb any route at all.
+func (a *Adversary) Active() bool { return a != nil && len(a.Campaigns) > 0 }
+
+// inert reports whether one campaign cannot inject routes: the hijacker
+// is outside the topology, self-targeting, or itself validates origins
+// (a validating operator drops its own invalid route before export).
+func inert(g *topology.Graph, c Campaign, rov map[world.ASN]bool) bool {
+	if c.Hijacker == c.Victim || !g.Active(c.Hijacker) {
+		return true
+	}
+	return rov[c.Hijacker]
+}
+
+// tailLen is the AS-path length the announcement already carries when it
+// leaves the hijacker: zero for origination claims, the fabricated tail
+// plus the victim for forged paths (padding that also makes forged
+// routes less attractive, as in real path-prepending economics).
+func (c Campaign) tailLen() int32 {
+	if c.Kind == ForgedPath {
+		return int32(len(c.Forged)) + 1
+	}
+	return 0
+}
+
+// propagateHijack spreads one campaign's announcement through the graph
+// with the same three valley-free phases as Propagate, gated per AS:
+// ROV deployers drop the invalid route outright, and for same-prefix
+// campaigns an AS adopts only where the candidate beats its honest
+// route under the standard comparator. Non-adopters never re-export, so
+// removing propagation paths (more ROV) can only lengthen or remove
+// downstream candidates — adoption is monotone non-increasing in the
+// deployment set. Returns the per-AS hijack routes (classNone where the
+// announcement was not adopted), or nil for inert campaigns.
+func propagateHijack(g *topology.Graph, honest *PathView, c Campaign, rov map[world.ASN]bool) []route {
+	if honest == nil || inert(g, c, rov) {
+		return nil
+	}
+	hIdx, ok := g.Index(c.Hijacker)
+	if !ok {
+		return nil
+	}
+	vIdx, _ := g.Index(c.Victim)
+	n := g.NumASes()
+	routes := make([]route, n)
+	routes[hIdx] = route{class: classCustomer, dist: c.tailLen(), next: -1}
+
+	better := func(a, b route) bool {
+		if a.class != b.class {
+			return a.class > b.class
+		}
+		if a.dist != b.dist {
+			return a.dist < b.dist
+		}
+		return a.next < b.next && b.next >= 0
+	}
+	adopt := func(p int, cand route) bool {
+		if p == vIdx || p == hIdx {
+			return false // the victim filters its own space; the hijacker originated
+		}
+		if rov[g.ASNAt(p)] {
+			return false
+		}
+		if c.Kind == SubPrefix {
+			return true // longest-prefix match: no competition with the honest route
+		}
+		hr := honest.routes[p]
+		return hr.class == classNone || better(cand, hr)
+	}
+
+	// Phase 1: the invalid route climbs provider edges from adopters.
+	queue := []int{hIdx}
+	for len(queue) > 0 {
+		var next []int
+		for _, cur := range queue {
+			for _, p := range g.ProviderIdx(cur) {
+				cand := route{class: classCustomer, dist: routes[cur].dist + 1, next: int32(cur)}
+				if (routes[p].class == classNone || better(cand, routes[p])) && adopt(p, cand) {
+					if routes[p].class == classNone {
+						next = append(next, p)
+					}
+					routes[p] = cand
+				}
+			}
+		}
+		queue = next
+	}
+
+	// Phase 2: one peer hop from customer-class adopters.
+	peerRoutes := make([]route, n)
+	for i := 0; i < n; i++ {
+		if routes[i].class != classCustomer {
+			continue
+		}
+		for _, p := range g.PeerIdx(i) {
+			if routes[p].class == classCustomer {
+				continue
+			}
+			cand := route{class: classPeer, dist: routes[i].dist + 1, next: int32(i)}
+			if (peerRoutes[p].class == classNone || better(cand, peerRoutes[p])) && adopt(p, cand) {
+				peerRoutes[p] = cand
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if peerRoutes[i].class == classPeer && routes[i].class == classNone {
+			routes[i] = peerRoutes[i]
+		}
+	}
+
+	// Phase 3: the invalid route descends customer edges from adopters.
+	queue = queue[:0]
+	for i := 0; i < n; i++ {
+		if routes[i].class != classNone {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		var next []int
+		for _, cur := range queue {
+			for _, cidx := range g.CustomerIdx(cur) {
+				cand := route{class: classProvider, dist: routes[cur].dist + 1, next: int32(cur)}
+				if routes[cidx].class == classNone {
+					if adopt(cidx, cand) {
+						routes[cidx] = cand
+						next = append(next, cidx)
+					}
+				} else if routes[cidx].class == classProvider && better(cand, routes[cidx]) && adopt(cidx, cand) {
+					routes[cidx] = cand
+				}
+			}
+		}
+		queue = next
+	}
+	return routes
+}
+
+// Spread returns the ASes that adopt campaign c's announcement under the
+// given ROV set, sorted ascending — the campaign's infection footprint.
+// The metamorphic battery asserts this set shrinks as ROV deployment
+// grows; CollectPathsAdversary uses the identical propagation.
+func Spread(g *topology.Graph, c Campaign, rov map[world.ASN]bool) []world.ASN {
+	honest := Propagate(g, c.Victim)
+	routes := propagateHijack(g, honest, c, rov)
+	if routes == nil {
+		return nil
+	}
+	hIdx, _ := g.Index(c.Hijacker)
+	var out []world.ASN
+	for i, r := range routes {
+		if r.class != classNone && i != hIdx {
+			out = append(out, g.ASNAt(i))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// observedPath reconstructs what a monitor inside `from` reports for the
+// campaign's prefix: the walk to the hijacker plus the announcement's
+// claimed tail where the invalid route was adopted, the honest path
+// everywhere else.
+func observedPath(g *topology.Graph, honest *PathView, hij []route, c Campaign, from world.ASN) []world.ASN {
+	i, ok := g.Index(from)
+	if !ok {
+		return nil
+	}
+	if hij == nil || hij[i].class == classNone {
+		return honest.Path(from)
+	}
+	var path []world.ASN
+	for {
+		path = append(path, g.ASNAt(i))
+		nxt := hij[i].next
+		if nxt < 0 {
+			break
+		}
+		i = int(nxt)
+		if len(path) > g.NumASes() {
+			return nil // defensive: cycle would be a propagation bug
+		}
+	}
+	if c.Kind == ForgedPath {
+		path = append(path, c.Forged...)
+		path = append(path, c.Victim)
+	}
+	return path
+}
+
+// CollectPathsAdversary is CollectPaths with an adversary in the control
+// plane. Origins without a campaign — and every origin when the
+// adversary is inert — take the honest propagation byte-for-byte; a
+// campaigned origin has its monitors' observed paths overlaid with the
+// hijack spread. At most one campaign applies per victim origin (the
+// first listed wins), mirroring one-prefix-one-attack plan generation.
+func CollectPathsAdversary(g *topology.Graph, monitors []Monitor, origins []world.ASN, workers int, adv *Adversary) *MonitorPaths {
+	if !adv.Active() {
+		return CollectPaths(g, monitors, origins, workers)
+	}
+	byVictim := make(map[world.ASN]Campaign, len(adv.Campaigns))
+	for _, c := range adv.Campaigns {
+		if _, dup := byVictim[c.Victim]; !dup {
+			byVictim[c.Victim] = c
+		}
+	}
+
+	mp := &MonitorPaths{Monitors: monitors, paths: make([]map[world.ASN][]world.ASN, len(monitors))}
+	for i := range mp.paths {
+		mp.paths[i] = make(map[world.ASN][]world.ASN)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(origins) {
+		workers = len(origins)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	shards := make([][]map[world.ASN][]world.ASN, workers)
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		shards[wi] = make([]map[world.ASN][]world.ASN, len(monitors))
+		for i := range shards[wi] {
+			shards[wi][i] = make(map[world.ASN][]world.ASN)
+		}
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			s := shards[wi]
+			for oi := wi; oi < len(origins); oi += workers {
+				origin := origins[oi]
+				view := Propagate(g, origin)
+				if view == nil {
+					continue
+				}
+				var hij []route
+				c, attacked := byVictim[origin]
+				if attacked {
+					hij = propagateHijack(g, view, c, adv.ROV)
+				}
+				for mi, m := range monitors {
+					var p []world.ASN
+					if hij != nil {
+						p = observedPath(g, view, hij, c, m.AS)
+					} else {
+						p = view.Path(m.AS)
+					}
+					if p != nil {
+						s[mi][origin] = p
+					}
+				}
+			}
+		}(wi)
+	}
+	wg.Wait()
+	for _, s := range shards {
+		for mi := range s {
+			for origin, p := range s[mi] {
+				mp.paths[mi][origin] = p
+			}
+		}
+	}
+	return mp
+}

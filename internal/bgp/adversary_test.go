@@ -1,0 +1,245 @@
+package bgp
+
+import (
+	"reflect"
+	"testing"
+
+	"stateowned/internal/world"
+)
+
+// pickCampaign returns a deterministic (victim, hijacker) pair whose
+// exact-prefix campaign actually infects somebody, so the assertions
+// below exercise a live overlay rather than vacuous empties.
+func pickCampaign(t *testing.T) (victim, hijacker world.ASN) {
+	t.Helper()
+	victim = world.ASN(2119) // Telenor: well-connected, reachable everywhere
+	for _, h := range testG.ASes() {
+		if h == victim {
+			continue
+		}
+		if len(Spread(testG, Campaign{Kind: ExactPrefix, Victim: victim, Hijacker: h}, nil)) > 0 {
+			return victim, h
+		}
+	}
+	t.Fatal("no hijacker wins an exact-prefix campaign anywhere; topology degenerate")
+	return 0, 0
+}
+
+func samplePaths(t *testing.T, mp *MonitorPaths, origins []world.ASN) map[string][]world.ASN {
+	t.Helper()
+	out := map[string][]world.ASN{}
+	for mi, m := range mp.Monitors {
+		for _, o := range origins {
+			if p := mp.Path(mi, o); p != nil {
+				out[m.ID+"/"+string(rune(o))] = p
+			}
+		}
+	}
+	return out
+}
+
+// An inactive or campaign-less adversary must delegate to the honest
+// collector byte-for-byte — this is the serving stack's contract that
+// severity 0 never perturbs a dataset.
+func TestCollectPathsAdversaryInertDelegates(t *testing.T) {
+	monitors := SelectMonitors(testW, testG, 20)
+	origins := testG.ASes()[:40]
+	honest := CollectPaths(testG, monitors, origins, 2)
+	for name, adv := range map[string]*Adversary{
+		"nil":       nil,
+		"empty":     {},
+		"rov-only":  {ROV: map[world.ASN]bool{origins[0]: true}},
+		"all-inert": {Campaigns: []Campaign{{Kind: ExactPrefix, Victim: origins[0], Hijacker: origins[0]}}},
+	} {
+		got := CollectPathsAdversary(testG, monitors, origins, 2, adv)
+		if adv.Active() {
+			// all-inert is Active (it has a campaign) but each campaign is
+			// individually inert; paths must still match.
+			for mi := range monitors {
+				for _, o := range origins {
+					if !reflect.DeepEqual(got.Path(mi, o), honest.Path(mi, o)) {
+						t.Fatalf("%s adversary: path(%d, %d) diverged from honest", name, mi, o)
+					}
+				}
+			}
+			continue
+		}
+		if !reflect.DeepEqual(samplePaths(t, got, origins), samplePaths(t, honest, origins)) {
+			t.Fatalf("%s adversary: paths diverged from honest collector", name)
+		}
+	}
+}
+
+func TestInertCampaigns(t *testing.T) {
+	victim, hijacker := pickCampaign(t)
+	cases := map[string]struct {
+		c   Campaign
+		rov map[world.ASN]bool
+	}{
+		"self-target":     {Campaign{Kind: ExactPrefix, Victim: victim, Hijacker: victim}, nil},
+		"ghost-hijacker":  {Campaign{Kind: SubPrefix, Victim: victim, Hijacker: 4294967294}, nil},
+		"validating-self": {Campaign{Kind: ExactPrefix, Victim: victim, Hijacker: hijacker}, map[world.ASN]bool{hijacker: true}},
+	}
+	for name, tc := range cases {
+		if s := Spread(testG, tc.c, tc.rov); s != nil {
+			t.Errorf("%s: inert campaign spread to %d ASes", name, len(s))
+		}
+	}
+}
+
+func TestExactPrefixSpreadExcludesPrincipals(t *testing.T) {
+	victim, hijacker := pickCampaign(t)
+	spread := Spread(testG, Campaign{Kind: ExactPrefix, Victim: victim, Hijacker: hijacker}, nil)
+	if len(spread) == 0 {
+		t.Fatal("picked campaign stopped spreading")
+	}
+	for i, asn := range spread {
+		if asn == victim || asn == hijacker {
+			t.Errorf("spread includes principal AS%d", asn)
+		}
+		if i > 0 && spread[i-1] >= asn {
+			t.Errorf("spread not sorted ascending at %d", i)
+		}
+	}
+}
+
+// A sub-prefix announcement wins by longest-prefix match wherever it
+// arrives, so its footprint must contain the exact-prefix footprint of
+// the same (victim, hijacker) pair, which additionally has to beat the
+// honest route.
+func TestSubPrefixSupersetOfExact(t *testing.T) {
+	victim, hijacker := pickCampaign(t)
+	exact := Spread(testG, Campaign{Kind: ExactPrefix, Victim: victim, Hijacker: hijacker}, nil)
+	sub := Spread(testG, Campaign{Kind: SubPrefix, Victim: victim, Hijacker: hijacker}, nil)
+	inSub := map[world.ASN]bool{}
+	for _, a := range sub {
+		inSub[a] = true
+	}
+	for _, a := range exact {
+		if !inSub[a] {
+			t.Errorf("AS%d adopts the exact-prefix route but not the sub-prefix one", a)
+		}
+	}
+	if len(sub) < len(exact) {
+		t.Errorf("sub-prefix footprint %d smaller than exact-prefix %d", len(sub), len(exact))
+	}
+}
+
+// Forged-path announcements keep the victim as observed origin: every
+// monitor path for the victim's prefix must still terminate at the
+// victim, with the fabricated tail spliced in where the campaign won.
+func TestForgedPathKeepsRegisteredOrigin(t *testing.T) {
+	victim, hijacker := pickCampaign(t)
+	forged := []world.ASN{64500, 64501}
+	c := Campaign{Kind: ForgedPath, Victim: victim, Hijacker: hijacker, Forged: forged}
+	monitors := SelectMonitors(testW, testG, 30)
+	mp := CollectPathsAdversary(testG, monitors, []world.ASN{victim}, 2, &Adversary{Campaigns: []Campaign{c}})
+	infected := map[world.ASN]bool{hijacker: true}
+	for _, a := range Spread(testG, c, nil) {
+		infected[a] = true
+	}
+	want := append(append([]world.ASN{hijacker}, forged...), victim)
+	polluted := 0
+	for mi, m := range monitors {
+		p := mp.Path(mi, victim)
+		if p == nil {
+			continue
+		}
+		if p[len(p)-1] != victim {
+			t.Fatalf("monitor %d observes origin AS%d, want the registered AS%d", mi, p[len(p)-1], victim)
+		}
+		if !infected[m.AS] {
+			continue // honest path; may pass through the hijacker AS legitimately
+		}
+		polluted++
+		if len(p) < len(want) || !reflect.DeepEqual(p[len(p)-len(want):], want) {
+			t.Fatalf("infected monitor %d: path %v does not end in hijacker+forged tail %v", mi, p, want)
+		}
+	}
+	if polluted == 0 {
+		t.Error("no monitor inside the infection footprint; campaign never won")
+	}
+}
+
+// Growing the ROV deployment set can only shrink the infection
+// footprint — the metamorphic core the severity/ROV batteries at the
+// pipeline level build on.
+func TestSpreadMonotoneInROV(t *testing.T) {
+	victim, hijacker := pickCampaign(t)
+	c := Campaign{Kind: SubPrefix, Victim: victim, Hijacker: hijacker}
+	base := Spread(testG, c, nil)
+	if len(base) < 4 {
+		t.Skipf("footprint of %d ASes too small to partition", len(base))
+	}
+	prev := base
+	for _, k := range []int{1, len(base) / 4, len(base) / 2, len(base)} {
+		rov := map[world.ASN]bool{}
+		for _, a := range base[:k] {
+			rov[a] = true
+		}
+		cur := Spread(testG, c, rov)
+		inPrev := map[world.ASN]bool{}
+		for _, a := range prev {
+			inPrev[a] = true
+		}
+		for _, a := range cur {
+			if !inPrev[a] {
+				t.Fatalf("rov size %d: AS%d infected though it was clean under a smaller deployment", k, a)
+			}
+			if rov[a] {
+				t.Fatalf("rov size %d: validating AS%d adopted the invalid route", k, a)
+			}
+		}
+		if len(cur) > len(prev) {
+			t.Fatalf("rov size %d: footprint grew from %d to %d", k, len(prev), len(cur))
+		}
+		prev = cur
+	}
+}
+
+// The overlay is surgical: origins without a campaign keep their honest
+// paths bit-for-bit, and for the campaigned origin only monitors inside
+// the infection footprint see a different path — which then terminates
+// at the hijacker (exact-prefix detection contract).
+func TestCollectPathsAdversaryOverlay(t *testing.T) {
+	victim, hijacker := pickCampaign(t)
+	c := Campaign{Kind: ExactPrefix, Victim: victim, Hijacker: hijacker}
+	monitors := SelectMonitors(testW, testG, 30)
+	origins := append([]world.ASN{victim}, testG.ASes()[:20]...)
+	honest := CollectPaths(testG, monitors, origins, 3)
+	adv := &Adversary{Campaigns: []Campaign{c}}
+	got := CollectPathsAdversary(testG, monitors, origins, 3, adv)
+
+	infected := map[world.ASN]bool{hijacker: true}
+	for _, a := range Spread(testG, c, nil) {
+		infected[a] = true
+	}
+	for mi, m := range monitors {
+		for _, o := range origins {
+			hp, gp := honest.Path(mi, o), got.Path(mi, o)
+			switch {
+			case o != victim || !infected[m.AS]:
+				if !reflect.DeepEqual(hp, gp) {
+					t.Fatalf("monitor %d origin %d: clean path perturbed", mi, o)
+				}
+			default:
+				if gp == nil || gp[len(gp)-1] != hijacker {
+					t.Fatalf("infected monitor %d: path %v does not terminate at the hijacker", mi, gp)
+				}
+			}
+		}
+	}
+
+	// Worker-count invariance: the sharded loop must assemble identical
+	// overlays for any pool size.
+	for _, workers := range []int{1, 4} {
+		other := CollectPathsAdversary(testG, monitors, origins, workers, adv)
+		for mi := range monitors {
+			for _, o := range origins {
+				if !reflect.DeepEqual(got.Path(mi, o), other.Path(mi, o)) {
+					t.Fatalf("workers=%d: path(%d, %d) differs from workers=3", workers, mi, o)
+				}
+			}
+		}
+	}
+}

@@ -122,6 +122,8 @@ type fleetConfig struct {
 	shards      int
 	retain      int
 	incremental bool
+	hijack      float64
+	rov         float64
 	routerOpt   func(*RouterOptions)
 	coordOpt    func(*CoordinatorOptions)
 }
@@ -131,7 +133,10 @@ type fleetConfig struct {
 // the store's determinism guarantee.
 func shardStore(cfg fleetConfig) *snapshot.Store {
 	return snapshot.New(snapshot.Options{
-		Base:        stateowned.Config{Seed: cfg.seed, Scale: cfg.scale},
+		Base: stateowned.Config{
+			Seed: cfg.seed, Scale: cfg.scale,
+			HijackSeverity: cfg.hijack, ROVFraction: cfg.rov,
+		},
 		Retain:      cfg.retain,
 		Incremental: cfg.incremental,
 	})

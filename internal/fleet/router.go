@@ -213,6 +213,11 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 	rt.mux.HandleFunc("GET /v1/graph/path", rt.handle(func(r *http.Request) routerResponse {
 		return rt.handleGraph(r, "/v1/graph/path")
 	}))
+	// Hijack detections are global observations (like graph answers),
+	// served from any healthy shard's full plane.
+	rt.mux.HandleFunc("GET /v1/hijacks", rt.handle(func(r *http.Request) routerResponse {
+		return rt.handleGraph(r, "/v1/hijacks")
+	}))
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	rt.mux.HandleFunc("GET /readyz", rt.handleReadyz)
 	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)

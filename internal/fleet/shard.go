@@ -242,6 +242,9 @@ func (ss *shardSource) carve(g *snapshot.Generation) *serve.View {
 		// compiled graph rather than carving it: a shard queried directly
 		// answers graph queries exactly as the full plane does.
 		Graph: full.Graph,
+		// The detection report is likewise global and immutable: hijack
+		// observations are collected fleet-wide, never range-carved.
+		Hijacks: full.Hijacks,
 	}
 	ss.carved[g.Gen] = v
 	return v

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"stateowned/internal/hijack"
+)
+
+// hijacksServer builds a generational server whose views carry small
+// hand-wound detection reports: generation 3 live (two detections),
+// generation 2 retained (one), generation 1 evicted, plus a static-like
+// view at generation 4 carrying no report at all.
+func hijacksServer() *Server {
+	rep2 := &hijack.Report{Monitors: 5, Detections: []hijack.Detection{
+		{Victim: 100, Observed: 900, Monitors: 3, VictimCountry: "CN", ObservedCountry: "IT",
+			VictimStateOwned: true, CrossBorder: true},
+	}}
+	rep3 := &hijack.Report{Monitors: 7, Detections: []hijack.Detection{
+		{Victim: 100, Observed: 901, Monitors: 2, VictimCountry: "CN", ObservedCountry: "CN",
+			VictimStateOwned: true},
+		{Victim: 200, Observed: 902, Monitors: 6, VictimCountry: "NO", ObservedCountry: "RU",
+			CrossBorder: true},
+	}}
+	src := &fakeSource{
+		views: map[int]*View{
+			2: {Gen: 2, Index: BuildIndex(fixtureDataset()), Hijacks: rep2},
+			3: {Gen: 3, Index: BuildIndex(gen1Dataset()), Hijacks: rep3},
+			4: {Gen: 4, Index: BuildIndex(gen1Dataset())}, // no routing observations
+		},
+		current: 3,
+		oldest:  2,
+	}
+	return NewDynamic(src, Options{CacheSize: 32})
+}
+
+func TestHijacksEndpoint(t *testing.T) {
+	srv := hijacksServer()
+
+	var live HijacksResponse
+	if w := getJSON(t, srv, "/v1/hijacks", &live); w.Code != http.StatusOK {
+		t.Fatalf("GET /v1/hijacks = %d (%s)", w.Code, w.Body)
+	}
+	if live.Generation != 3 || live.Monitors != 7 || live.Count != 2 || len(live.Detections) != 2 {
+		t.Fatalf("live report = %+v", live)
+	}
+
+	// ?gen= pins to a retained generation's report.
+	var pinned HijacksResponse
+	getJSON(t, srv, "/v1/hijacks?gen=2", &pinned)
+	if pinned.Generation != 2 || pinned.Count != 1 || pinned.Detections[0].Observed != 900 {
+		t.Fatalf("pinned report = %+v", pinned)
+	}
+
+	// Filters: victim ASN, victim country (case-insensitive), cross-border.
+	cases := map[string]int{
+		"/v1/hijacks?victim=100":                1,
+		"/v1/hijacks?victim=999":                0,
+		"/v1/hijacks?cc=cn":                     1,
+		"/v1/hijacks?cc=NO":                     1,
+		"/v1/hijacks?cross_border=true":         1,
+		"/v1/hijacks?cross_border=FALSE":        1,
+		"/v1/hijacks?cc=CN&cross_border=false":  1,
+		"/v1/hijacks?cc=CN&cross_border=true":   0,
+		"/v1/hijacks?victim=200&cross_border=1": 1,
+	}
+	for target, want := range cases {
+		var got HijacksResponse
+		if w := getJSON(t, srv, target, &got); w.Code != http.StatusOK {
+			t.Fatalf("GET %s = %d (%s)", target, w.Code, w.Body)
+		}
+		if got.Count != want || len(got.Detections) != want {
+			t.Errorf("GET %s: count = %d, want %d", target, got.Count, want)
+		}
+		if got.Detections == nil {
+			t.Errorf("GET %s: detections serialized as null", target)
+		}
+	}
+
+	// Malformed parameters: 400 in the unified envelope.
+	for _, target := range []string{
+		"/v1/hijacks?victim=0",
+		"/v1/hijacks?victim=-5",
+		"/v1/hijacks?victim=abc",
+		"/v1/hijacks?victim=4294967296",
+		"/v1/hijacks?cc=XYZ",
+		"/v1/hijacks?cc=1a",
+		"/v1/hijacks?cross_border=maybe",
+	} {
+		var e ErrorBody
+		if w := getJSON(t, srv, target, &e); w.Code != http.StatusBadRequest || e.Status != http.StatusBadRequest {
+			t.Errorf("GET %s = %d (envelope %+v), want 400", target, w.Code, e)
+		}
+	}
+
+	// A view without routing observations answers the canonical 404.
+	var e ErrorBody
+	if w := getJSON(t, srv, "/v1/hijacks?gen=4", &e); w.Code != http.StatusNotFound || e.Status != http.StatusNotFound {
+		t.Errorf("GET /v1/hijacks?gen=4 = %d (envelope %+v), want 404", w.Code, e)
+	}
+}
+
+// Equivalent filter spellings must share one cache entry: the canonical
+// key collapses boolean spellings and country-code case.
+func TestHijacksCacheKeyCanonicalization(t *testing.T) {
+	srv := hijacksServer()
+	getJSON(t, srv, "/v1/hijacks?cc=no&cross_border=true", nil)
+	before := srv.CacheStats().Hits
+	getJSON(t, srv, "/v1/hijacks?cc=NO&cross_border=1", nil)
+	if srv.CacheStats().Hits != before+1 {
+		t.Fatalf("equivalent spellings missed the cache (hits %d -> %d)", before, srv.CacheStats().Hits)
+	}
+}
+
+// FuzzHijackParams drives the /v1/hijacks query surface — victim, cc,
+// cross_border and ?gen= — asserting that every answer is valid JSON
+// and every non-200 is the unified error envelope echoing its status.
+func FuzzHijackParams(f *testing.F) {
+	for _, s := range []string{
+		"100", "0", "007", "4294967295", "4294967296", "-1", "+1",
+		"abc", "", " ", "true", "false", "TRUE", "t", "1", "0", "maybe",
+		"CN", "cn", "XY", "xyz", "c", "２", "\x00", strings.Repeat("9", 300), "null",
+	} {
+		f.Add(s, s, s, s)
+	}
+
+	srv := hijacksServer()
+	f.Fuzz(func(t *testing.T, victim, cc, xb, gen string) {
+		target := "/v1/hijacks?victim=" + url.QueryEscape(victim) +
+			"&cc=" + url.QueryEscape(cc) +
+			"&cross_border=" + url.QueryEscape(xb) +
+			"&gen=" + url.QueryEscape(gen)
+		if _, err := url.ParseRequestURI(target); err != nil {
+			return
+		}
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, httptest.NewRequest(http.MethodGet, target, nil))
+		if !json.Valid(w.Body.Bytes()) {
+			t.Fatalf("GET %q: invalid JSON body %q", target, w.Body)
+		}
+		if w.Code == http.StatusOK {
+			return
+		}
+		switch w.Code {
+		case http.StatusBadRequest, http.StatusNotFound, http.StatusGone:
+		default:
+			t.Fatalf("GET %q: unexpected status %d (body %q)", target, w.Code, w.Body)
+		}
+		var e ErrorBody
+		if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
+			t.Fatalf("GET %q: non-200 body is not the error envelope: %v (body %q)", target, err, w.Body)
+		}
+		if e.Status != w.Code || e.Error == "" {
+			t.Fatalf("GET %q: envelope %+v does not echo status %d", target, e, w.Code)
+		}
+	})
+}

@@ -169,7 +169,7 @@ func NewDynamic(src Source, opts Options) *Server {
 	if b := opts.RequestTimeout; b > 0 {
 		tight := b / 2
 		for _, e := range []string{"/v1/asn", "/v1/country", "/v1/org", "/v1/dataset",
-			"/v1/graph/neighbors", "/v1/graph/upstreams", "/v1/graph/cone", "other"} {
+			"/v1/graph/neighbors", "/v1/graph/upstreams", "/v1/graph/cone", "/v1/hijacks", "other"} {
 			s.budgets[e] = b
 		}
 		for _, e := range []string{"/v1/search", "/v1/diff", "/v1/graph/path"} {
@@ -188,6 +188,7 @@ func NewDynamic(src Source, opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/graph/upstreams/{asn}", s.handle("/v1/graph/upstreams", true, s.viewHandler("/v1/graph/upstreams", s.handleGraphUpstreams)))
 	s.mux.HandleFunc("GET /v1/graph/cone/{asn}", s.handle("/v1/graph/cone", true, s.viewHandler("/v1/graph/cone", s.handleGraphCone)))
 	s.mux.HandleFunc("GET /v1/graph/path", s.handle("/v1/graph/path", true, s.viewHandler("/v1/graph/path", s.handleGraphPath)))
+	s.mux.HandleFunc("GET /v1/hijacks", s.handle("/v1/hijacks", true, s.viewHandler("/v1/hijacks", s.handleHijacks)))
 	s.mux.HandleFunc("GET /v1/diff", s.handle("/v1/diff", true, s.handleDiff))
 	s.mux.HandleFunc("GET /healthz", s.handle("/healthz", false, s.handleHealthz))
 	s.mux.HandleFunc("GET /readyz", s.handle("/readyz", false, s.handleReadyz))
@@ -479,6 +480,12 @@ func canonicalKey(r *http.Request) string {
 	if r.URL.Path == "/v1/graph/path" {
 		q := r.URL.Query()
 		return "from:" + canonASNParam(q.Get("from")) + "\x00to:" + canonASNParam(q.Get("to"))
+	}
+	if r.URL.Path == "/v1/hijacks" {
+		q := r.URL.Query()
+		return "victim:" + canonASNParam(q.Get("victim")) +
+			"\x00cc:" + CanonicalCC(q.Get("cc")) +
+			"\x00xb:" + canonBoolParam(q.Get("cross_border"))
 	}
 	return r.URL.Path
 }

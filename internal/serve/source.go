@@ -3,6 +3,7 @@ package serve
 import (
 	"stateowned/internal/churn"
 	"stateowned/internal/graph"
+	"stateowned/internal/hijack"
 	"stateowned/internal/runner"
 )
 
@@ -62,6 +63,12 @@ type View struct {
 	// /v1/graph/* endpoints. Nil when the source carries no topology
 	// (static index-only sources); the graph endpoints then answer 404.
 	Graph *graph.Graph
+	// Hijacks is the generation's routing-adversary detection report
+	// behind /v1/hijacks. Nil when the source carries no routing
+	// observations (static index-only sources); the endpoint then
+	// answers 404. An honest generation carries an empty (non-nil)
+	// report.
+	Hijacks *hijack.Report
 }
 
 // ReloadStatus is a source's rebuild-state report, surfaced verbatim

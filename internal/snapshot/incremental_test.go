@@ -32,6 +32,12 @@ type chainCase struct {
 	rates   churn.Rates
 	workers int
 	label   string
+
+	// Adversary knobs: a non-zero hijack severity runs the whole chain
+	// under seeded prefix-hijack campaigns, which the incremental path
+	// must reproduce byte-identically too (/v1/hijacks is probed).
+	hijack float64
+	rov    float64
 }
 
 // chainGens is the chain length after generation 0.
@@ -55,8 +61,11 @@ func chainStore(c chainCase, incremental bool) *Store {
 	noGate := DefaultValidation()
 	noGate.MaxChurnFraction = 1e9 // severity is the axis under test, not the gate's opinion of it
 	return New(Options{
-		Base:        stateowned.Config{Seed: c.seed, Scale: testScale, Workers: c.workers},
-		Rates:       c.rates,
+		Base: stateowned.Config{
+			Seed: c.seed, Scale: testScale, Workers: c.workers,
+			HijackSeverity: c.hijack, ROVFraction: c.rov,
+		},
+		Rates: c.rates,
 		Retain:      chainGens + 1,
 		Incremental: incremental,
 		Validation:  &noGate,
@@ -107,6 +116,8 @@ func probePaths(t *testing.T, g *Generation) []string {
 		"/v1/graph/upstreams/" + asns[0],
 		"/v1/graph/cone/" + asns[0],
 		"/v1/graph/path?from=" + asns[0] + "&to=" + asns[len(asns)-1],
+		"/v1/hijacks",
+		"/v1/hijacks?cross_border=true",
 	}
 	return paths
 }
@@ -230,6 +241,49 @@ func TestIncrementalChainByteIdentical(t *testing.T) {
 	}
 }
 
+// TestIncrementalHijackChainByteIdentical extends the differential
+// proof to adversarial chains: with seeded hijack campaigns active
+// (including a partially ROV-gated case), the incremental chain must
+// still match its full-rebuild twin at every surface — now including
+// /v1/hijacks — while continuing to reuse artifacts.
+func TestIncrementalHijackChainByteIdentical(t *testing.T) {
+	cases := []chainCase{
+		{seed: 42, rates: churn.DefaultRates(), workers: 4, hijack: 0.75, label: "seed42-hijack-open"},
+		{seed: 7, rates: heavyRates(), workers: 2, hijack: 1.0, rov: 0.5, label: "seed7-hijack-rov"},
+	}
+	for i, c := range cases {
+		c := c
+		t.Run(c.label, func(t *testing.T) {
+			if testing.Short() && i > 0 {
+				t.Skip("one adversarial differential case in -short mode")
+			}
+			full := chainStore(c, false)
+			inc := chainStore(c, true)
+			reusedTotal := 0
+			for gen := 1; gen <= chainGens; gen++ {
+				if full.Advance() == nil || inc.Advance() == nil {
+					t.Fatalf("advance to generation %d quarantined: full=%v inc=%v",
+						gen, full.Degraded(), inc.Degraded())
+				}
+				reusedTotal += inc.Current().Stats.NodesReused
+			}
+			assertChainsEqual(t, full, inc)
+			if reusedTotal == 0 {
+				t.Error("adversarial incremental chain reused zero nodes — the proof proved nothing")
+			}
+			// The battery must exercise a live adversary, not an empty report.
+			detections := 0
+			for gen := 0; gen <= chainGens; gen++ {
+				g, _ := full.Lookup(gen)
+				detections += len(g.Result.Hijacks.Detections)
+			}
+			if detections == 0 {
+				t.Error("no generation detected any origin change — adversarial case is vacuous")
+			}
+		})
+	}
+}
+
 // TestIncrementalZeroChurnSkipsEverything is the first metamorphic
 // property: when a generation's churn step moves nothing, the
 // incremental rebuild must execute zero pipeline nodes and adopt the
@@ -279,6 +333,45 @@ func TestIncrementalZeroChurnSkipsEverything(t *testing.T) {
 	}
 	if !bytes.Equal(exportDataset(t, g0), exportDataset(t, g1)) {
 		t.Error("zero-churn generations differ in dataset bytes")
+	}
+}
+
+// TestIncrementalZeroChurnWithHijackSkipsEverything pins the hijack
+// node's fingerprint discipline: the adversary knobs are part of the
+// config fingerprint and the plan is a pure function of the unchanged
+// world, so a zero-churn advance must execute zero nodes and adopt the
+// previous detection report — even with campaigns active.
+func TestIncrementalZeroChurnWithHijackSkipsEverything(t *testing.T) {
+	s := New(Options{
+		Base:        stateowned.Config{Seed: 42, Scale: testScale, HijackSeverity: 0.75, ROVFraction: 0.25},
+		Rates:       negligibleRates(),
+		Incremental: true,
+	})
+	g0 := s.Current()
+	if len(g0.Result.Hijacks.Detections) == 0 {
+		t.Fatal("severity 0.75 detected nothing at generation 0; test is vacuous")
+	}
+
+	var executed []string
+	var mu sync.Mutex
+	restore := stateowned.SetBuildHook(func(node string) {
+		mu.Lock()
+		executed = append(executed, node)
+		mu.Unlock()
+	})
+	defer restore()
+	g1 := s.Advance()
+	if g1 == nil {
+		t.Fatalf("zero-churn advance quarantined: %v", s.Degraded())
+	}
+	if len(executed) != 0 {
+		t.Errorf("zero-churn hijack rebuild executed pipeline nodes %v, want none", executed)
+	}
+	if st := g1.Stats; st.NodesTotal == 0 || st.NodesReused != st.NodesTotal {
+		t.Errorf("stats = %+v, want every node (including hijack) reused", st)
+	}
+	if g1.View().Hijacks != g0.View().Hijacks {
+		t.Error("zero-churn generation rebuilt the detection report instead of adopting it")
 	}
 }
 

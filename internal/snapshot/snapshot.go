@@ -399,6 +399,9 @@ func (s *Store) build(gen int) *Generation {
 		// at build/stage time (off the request path), and hot reloads
 		// swap index and graph together, atomically.
 		Graph: res.Graph(),
+		// The detection report is a pipeline artifact (the hijack node
+		// memoizes it like any other), so reuse needs no adoption hook.
+		Hijacks: res.Hijacks,
 		Provenance: serve.Provenance{
 			Origin:      "generational",
 			Seed:        cfg.Seed,

@@ -1,0 +1,22 @@
+package topology
+
+import "stateowned/internal/world"
+
+// ROVDeployment materializes the set of active ASes validating route
+// origins at the given deployment fraction. Membership is decided by
+// comparing each AS's fixed world.ROVThreshold against the fraction, so
+// the sets are nested: every deployer at fraction f remains a deployer
+// at every f' > f. At fraction >= 1 every active AS validates; at <= 0
+// none do.
+func (g *Graph) ROVDeployment(w *world.World, fraction float64) map[world.ASN]bool {
+	out := make(map[world.ASN]bool)
+	if fraction <= 0 {
+		return out
+	}
+	for _, asn := range g.ASes() {
+		if w.ROVThreshold(asn) < fraction {
+			out[asn] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,34 @@
+package world
+
+// Route-origin-validation deployment ground truth. Each AS carries a
+// deterministic adoption threshold in [0,1): the AS deploys ROV once the
+// economy-wide deployment fraction reaches its threshold. Thresholds are
+// a pure function of the world seed and the AS's country ICT level, so
+// raising the fraction only ever adds deployers — deployment sets are
+// nested, which is what makes hijack-recall monotonicity provable rather
+// than merely plausible.
+
+import (
+	"math"
+	"strconv"
+
+	"stateowned/internal/rng"
+)
+
+// ROVThreshold returns AS n's adoption threshold. High-ICT economies
+// skew toward early deployment (the exponent compresses the uniform
+// draw toward zero), low-ICT ones toward late; unknown ASes never
+// deploy. The draw uses a per-ASN substream, so thresholds do not
+// depend on iteration order.
+func (w *World) ROVThreshold(n ASN) float64 {
+	as, ok := w.ASes[n]
+	if !ok {
+		return 1
+	}
+	ict := 0.5
+	if p, ok := w.Profiles[as.Country]; ok {
+		ict = p.ICT
+	}
+	u := rng.New(w.Seed).Sub("rov/" + strconv.FormatUint(uint64(n), 10)).Float64()
+	return math.Pow(u, 0.4+1.2*ict)
+}

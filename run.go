@@ -11,6 +11,7 @@ import (
 	"stateowned/internal/eyeballs"
 	"stateowned/internal/faults"
 	"stateowned/internal/geo"
+	"stateowned/internal/hijack"
 	"stateowned/internal/orbis"
 	"stateowned/internal/peeringdb"
 	"stateowned/internal/runner"
@@ -283,6 +284,14 @@ func runHardened(cfg Config, plan faults.Plan) *Result {
 		return nil
 	}, "topology", "geo")
 
+	// The routing adversary rides after CTI so it reuses the same
+	// outage-thinned monitor set. Detection is plan-blind: honest and
+	// fully-ROV-gated runs publish byte-identical empty reports.
+	add("hijack", func(func(string, bool, string)) error {
+		res.Hijacks = computeHijacks(res, cfg, workers)
+		return nil
+	}, "topology", "cti")
+
 	// The serial tail: the classification stages consume every source.
 	add("stage1", func(func(string, bool, string)) error {
 		res.Candidates = runStage1(res, cfg)
@@ -363,6 +372,9 @@ func runHardened(cfg Config, plan faults.Plan) *Result {
 	// empty-but-valid value, never nil stages.
 	if res.CTITop == nil {
 		res.CTITop = map[string][]world.ASN{}
+	}
+	if res.Hijacks == nil {
+		res.Hijacks = &hijack.Report{Detections: []hijack.Detection{}}
 	}
 	if res.Candidates == nil {
 		res.Candidates = &candidates.Result{PerSourceASes: map[candidates.Source][]world.ASN{}}

@@ -43,6 +43,7 @@ import (
 	"stateowned/internal/faults"
 	"stateowned/internal/geo"
 	"stateowned/internal/graph"
+	"stateowned/internal/hijack"
 	"stateowned/internal/orbis"
 	"stateowned/internal/peeringdb"
 	"stateowned/internal/runner"
@@ -103,6 +104,24 @@ type Config struct {
 	// fault episodes.
 	ChaosSeed uint64
 
+	// HijackSeverity turns on the seeded routing adversary when > 0 (up
+	// to 1): a roster of exact-prefix, sub-prefix and forged-path
+	// campaigns drawn by internal/hijack pollutes the monitor paths CTI
+	// consumes, and the detection pass publishes what origin-based
+	// monitoring would catch. Severity selects a prefix of the roster,
+	// so raising it only adds campaigns.
+	HijackSeverity float64
+	// HijackSeed seeds the campaign roster independently of the world
+	// (0 = derive from Seed), so one world can be replayed under many
+	// adversary episodes.
+	HijackSeed uint64
+	// ROVFraction in [0,1] sets route-origin-validation deployment: the
+	// nested per-AS thresholds in world/topology admit exactly the ASes
+	// below the fraction, and validators neither adopt nor re-export
+	// invalid announcements. At 1.0 every campaign is inert and the run
+	// is byte-identical to an honest one.
+	ROVFraction float64
+
 	// Memo supplies the previous build's artifact cache for an
 	// incremental rebuild: nodes whose input fingerprints match re-adopt
 	// the memoized artifact instead of rebuilding, provably without
@@ -137,6 +156,11 @@ type Result struct {
 	Docs      *docsrc.Corpus
 	Monitors  []bgp.Monitor
 	CTITop    map[string][]world.ASN
+
+	// Hijacks is the adversary detection report: origin changes observed
+	// against the registered ownership, empty (never nil) on honest or
+	// fully-ROV-gated runs. Served at /v1/hijacks.
+	Hijacks *hijack.Report
 
 	// Pipeline stages.
 	Candidates   *candidates.Result
@@ -323,6 +347,17 @@ func computeCTI(res *Result, cfg Config, plan faults.Plan, h *runner.Health, wor
 		world.SortASNs(perCountry[cc])
 	}
 
+	// The routing adversary, when enabled, pollutes the paths CTI reads.
+	// The plan is a pure function of (world, topology, hijack knobs), so
+	// building it here and in the hijack node yields the same campaigns.
+	var adv *bgp.Adversary
+	var advFP sched.Fingerprint
+	if cfg.HijackSeverity > 0 {
+		plan := hijack.NewPlan(res.World, res.Topology, hijackConfig(cfg))
+		adv = plan.Adversary()
+		advFP = plan.Fingerprint()
+	}
+
 	// Slice memo: fingerprint each country's full read set and mark the
 	// countries whose previous-generation slice no longer matches.
 	reuse := fps != nil
@@ -336,6 +371,7 @@ func computeCTI(res *Result, cfg Config, plan faults.Plan, h *runner.Health, wor
 			sh.FP(fps.cfg)
 			sh.FP(topoFP)
 			sh.FP(monFP)
+			sh.FP(advFP) // zero when the adversary is off; cfg covers the knobs
 			sh.Str(cc)
 			sh.U64(res.Geo.TotalIn(cc))
 			sh.I64(int64(len(perCountry[cc])))
@@ -376,7 +412,7 @@ func computeCTI(res *Result, cfg Config, plan faults.Plan, h *runner.Health, wor
 	}
 	world.SortASNs(origins)
 
-	paths := bgp.CollectPaths(res.Topology, monitors, origins, workers)
+	paths := bgp.CollectPathsAdversary(res.Topology, monitors, origins, workers, adv)
 	comp := cti.NewComputer(paths)
 	// Per-country CTI computations are independent reads over the frozen
 	// path collection and geo snapshot: fan them out, each iteration
@@ -403,6 +439,43 @@ func computeCTI(res *Result, cfg Config, plan faults.Plan, h *runner.Health, wor
 		}
 	}
 	return monitors, top, slices
+}
+
+// hijackConfig projects the adversary knobs for internal/hijack.
+func hijackConfig(cfg Config) hijack.Config {
+	return hijack.Config{
+		Severity:    cfg.HijackSeverity,
+		Seed:        cfg.HijackSeed,
+		ROVFraction: cfg.ROVFraction,
+	}
+}
+
+// computeHijacks runs the campaign plan through the adversarial
+// collector and the plan-blind detection pass. The monitor count is
+// reported even when no campaign runs, so an honest run and a
+// fully-ROV-gated one publish byte-identical (empty) reports; a run
+// with no topology (degraded build) publishes an empty report with no
+// vantage points.
+func computeHijacks(res *Result, cfg Config, workers int) *hijack.Report {
+	rep := &hijack.Report{Detections: []hijack.Detection{}}
+	if res.Topology == nil {
+		return rep
+	}
+	monitors := res.Monitors
+	if monitors == nil {
+		monitors = bgp.SelectMonitors(res.World, res.Topology, cfg.Monitors)
+	}
+	rep.Monitors = len(monitors)
+	if cfg.HijackSeverity <= 0 {
+		return rep
+	}
+	plan := hijack.NewPlan(res.World, res.Topology, hijackConfig(cfg))
+	victims := plan.Victims()
+	if len(victims) == 0 {
+		return rep
+	}
+	paths := bgp.CollectPathsAdversary(res.Topology, monitors, victims, workers, plan.Adversary())
+	return hijack.Detect(paths, victims, res.World)
 }
 
 // runStage1 assembles the candidate inputs, honoring ablation switches.
