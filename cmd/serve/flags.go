@@ -12,6 +12,11 @@ import (
 	"stateowned/internal/snapshot"
 )
 
+// maxArchiveRetain caps -archive-retain: a larger window is almost
+// certainly a typo'd number, and each archived generation is a full
+// dataset export on disk.
+const maxArchiveRetain = 1024
+
 // config is the fully parsed and validated command configuration. One
 // process runs in exactly one of three modes:
 //
@@ -54,6 +59,13 @@ type config struct {
 	// builds generations).
 	incremental bool
 
+	// Durable archive (single and shard modes: anywhere a store owns
+	// data). dataDir enables crash-consistent persistence of every
+	// committed generation and warm-start recovery at boot;
+	// archiveRetain bounds the on-disk generation window.
+	dataDir       string
+	archiveRetain int
+
 	// Fleet knobs.
 	shards     int
 	shardIndex int
@@ -91,6 +103,8 @@ func parseFlags(args []string, output io.Writer) (config, error) {
 	fs.Float64Var(&cfg.reloadMaxChurn, "reload-max-churn", snapshot.DefaultMaxChurnFraction, "reload gate: quarantine a rebuilt generation whose state-owned ASN set churned more than this fraction (0 rejects any change; >= 1 disables the bound)")
 	fs.IntVar(&cfg.reloadMaxFailures, "reload-max-failures", 0, "reload gate: stop retrying after this many consecutive quarantined rebuilds and serve last-known-good until restart (0 = retry forever)")
 	fs.BoolVar(&cfg.incremental, "incremental", false, "rebuild generations incrementally: reuse the previous generation's artifacts for pipeline nodes whose inputs did not churn (byte-identical output, less rebuild work)")
+	fs.StringVar(&cfg.dataDir, "data-dir", "", "durable generation archive directory: every committed generation persists here (crash-consistent), and a restarted process warm-starts from the newest verified one ('' = memory only)")
+	fs.IntVar(&cfg.archiveRetain, "archive-retain", 0, "with -data-dir: how many generations stay archived on disk (0 = default; may exceed -generations)")
 	fs.IntVar(&cfg.shards, "shards", 0, "fleet size (shard mode: the partition's shard count; router mode: optional cross-check against -shard-addrs)")
 	fs.IntVar(&cfg.shardIndex, "shard-index", -1, "shard mode: this shard's position in [0, -shards)")
 	fs.StringVar(&shardAddrs, "shard-addrs", "", "router mode: comma-separated shard base addresses, in shard order")
@@ -155,8 +169,24 @@ func validate(cfg *config, set map[string]bool) error {
 		return fmt.Errorf("invalid -reload-max-failures: must be >= 0")
 	case cfg.flipEvery < 0:
 		return fmt.Errorf("invalid -flip-every: must be >= 0")
+	case cfg.archiveRetain < 0 || cfg.archiveRetain > maxArchiveRetain:
+		return fmt.Errorf("invalid -archive-retain: must be in [0, %d]", maxArchiveRetain)
 	}
+	if err := validateMode(cfg, set); err != nil {
+		return err
+	}
+	// Cross-flag dependency, checked after mode coherence so a router
+	// operator passing -archive-retain hears "contradicts -mode router",
+	// not a hint to add -data-dir (which also contradicts).
+	if cfg.archiveRetain > 0 && cfg.dataDir == "" {
+		return fmt.Errorf("-archive-retain needs -data-dir (nothing to retain without an archive)")
+	}
+	return nil
+}
 
+// validateMode enforces mode coherence: flags that contradict the
+// chosen mode are hard errors, plus each mode's own required fields.
+func validateMode(cfg *config, set map[string]bool) error {
 	reject := func(flags ...string) error {
 		for _, f := range flags {
 			if set[f] {
@@ -189,7 +219,7 @@ func validate(cfg *config, set map[string]bool) error {
 		if err := reject("seed", "scale", "workers", "chaos", "chaos-seed", "churn-seed",
 			"hijack", "hijack-seed", "rov-fraction",
 			"generations", "cache", "reload-every", "reload-max-churn", "reload-max-failures",
-			"incremental", "shard-index"); err != nil {
+			"incremental", "shard-index", "data-dir", "archive-retain"); err != nil {
 			return err
 		}
 		if len(cfg.shardAddrs) == 0 {

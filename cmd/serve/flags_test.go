@@ -57,6 +57,13 @@ func TestParseFlagsModeValidation(t *testing.T) {
 		{name: "router with hijack", args: []string{"-mode", "router", "-shard-addrs", "a:1", "-hijack", "0.5"}, wantErr: "-hijack contradicts -mode router"},
 		{name: "router with hijack-seed", args: []string{"-mode", "router", "-shard-addrs", "a:1", "-hijack-seed", "7"}, wantErr: "-hijack-seed contradicts -mode router"},
 		{name: "router with rov-fraction", args: []string{"-mode", "router", "-shard-addrs", "a:1", "-rov-fraction", "1"}, wantErr: "-rov-fraction contradicts -mode router"},
+		{name: "single with data dir", args: []string{"-data-dir", "/tmp/archive", "-archive-retain", "16"}},
+		{name: "shard with data dir", args: []string{"-mode", "shard", "-shards", "2", "-shard-index", "0", "-data-dir", "/tmp/archive"}},
+		{name: "archive retain negative", args: []string{"-data-dir", "/tmp/a", "-archive-retain", "-1"}, wantErr: "invalid -archive-retain"},
+		{name: "archive retain too large", args: []string{"-data-dir", "/tmp/a", "-archive-retain", "4096"}, wantErr: "invalid -archive-retain"},
+		{name: "archive retain without data dir", args: []string{"-archive-retain", "8"}, wantErr: "-archive-retain needs -data-dir"},
+		{name: "router with data dir", args: []string{"-mode", "router", "-shard-addrs", "a:1", "-data-dir", "/tmp/a"}, wantErr: "-data-dir contradicts -mode router"},
+		{name: "router with archive retain", args: []string{"-mode", "router", "-shard-addrs", "a:1", "-archive-retain", "4"}, wantErr: "-archive-retain contradicts -mode router"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

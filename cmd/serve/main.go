@@ -73,6 +73,7 @@ import (
 	"time"
 
 	"stateowned"
+	"stateowned/internal/durable"
 	"stateowned/internal/fleet"
 	"stateowned/internal/serve"
 	"stateowned/internal/snapshot"
@@ -90,6 +91,31 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Open the durable archive before binding the port: an unwritable
+	// -data-dir is a configuration error (exit 2), discovered before the
+	// process starts accepting anything.
+	var archive *durable.Archive
+	if cfg.dataDir != "" {
+		archive, err = durable.Open(durable.Options{Dir: cfg.dataDir, Retain: cfg.archiveRetain})
+		if err != nil {
+			log.Println(err)
+			os.Exit(2)
+		}
+		rec := archive.Recovered()
+		if n := len(rec.Generations); n > 0 {
+			newest := rec.Generations[n-1].Record.Gen
+			log.Printf("archive %s: %d verified generation(s), newest %d", cfg.dataDir, n, newest)
+		} else {
+			log.Printf("archive %s: empty, cold start", cfg.dataDir)
+		}
+		if note := rec.ManifestNote; note != "" {
+			log.Printf("archive manifest: %s", note)
+		}
+		for _, q := range rec.Quarantined {
+			log.Printf("archive quarantined generation %d (%s): %s", q.Gen, q.Segment, q.Reason)
+		}
+	}
+
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		log.Printf("invalid -addr: %v", err)
@@ -101,9 +127,9 @@ func main() {
 
 	switch cfg.mode {
 	case "single":
-		err = runSingle(ctx, cfg, ln)
+		err = runSingle(ctx, cfg, archive, ln)
 	case "shard":
-		err = runShard(ctx, cfg, ln)
+		err = runShard(ctx, cfg, archive, ln)
 	case "router":
 		err = runRouter(ctx, cfg, ln)
 	}
@@ -113,10 +139,13 @@ func main() {
 	log.Println("shut down cleanly")
 }
 
-// buildStore builds generation 0 synchronously (single and shard modes)
-// and logs what went live.
-func buildStore(cfg config) *snapshot.Store {
-	log.Printf("building generation 0 (seed %d, scale %g, chaos %g)...", cfg.seed, cfg.scale, cfg.chaos)
+// buildStore builds generation 0 synchronously (single and shard
+// modes) — or, with a durable archive holding verified generations,
+// warm-starts from the newest one instead — and logs what went live.
+func buildStore(cfg config, archive *durable.Archive) *snapshot.Store {
+	if archive == nil || len(archive.Recovered().Generations) == 0 {
+		log.Printf("building generation 0 (seed %d, scale %g, chaos %g)...", cfg.seed, cfg.scale, cfg.chaos)
+	}
 	store := snapshot.New(snapshot.Options{
 		Base: stateowned.Config{
 			Seed: cfg.seed, Scale: cfg.scale, Workers: cfg.workers,
@@ -127,14 +156,20 @@ func buildStore(cfg config) *snapshot.Store {
 		ChurnSeed:   cfg.churnSeed,
 		Retain:      cfg.generations,
 		Incremental: cfg.incremental,
+		Archive:     archive,
 		Validation: &snapshot.Validation{
 			MaxChurnFraction: cfg.reloadMaxChurn,
 			MaxFailures:      cfg.reloadMaxFailures,
 		},
 	})
 	g := store.Current()
-	log.Printf("generation 0 live: %d organizations, %d state-owned ASNs, %d minority records",
-		g.Index.NumOrgs(), g.Index.NumASNs(), g.Index.NumMinority())
+	if rg := store.RecoveredGen(); rg >= 0 {
+		log.Printf("warm start: generation %d recovered from archive (%d organizations, %d state-owned ASNs); retained %v",
+			g.Gen, g.Index.NumOrgs(), g.Index.NumASNs(), store.Retained())
+	} else {
+		log.Printf("generation 0 live: %d organizations, %d state-owned ASNs, %d minority records",
+			g.Index.NumOrgs(), g.Index.NumASNs(), g.Index.NumMinority())
+	}
 	if degraded := g.Result.Health.DegradedSources(); len(degraded) > 0 {
 		log.Printf("degraded sources: %v (see /readyz)", degraded)
 	}
@@ -171,8 +206,8 @@ func announce(ln net.Listener) { fmt.Printf("listening on %s\n", ln.Addr()) }
 
 // runSingle is the classic all-in-one server: build, serve, optionally
 // hot-reload on a timer.
-func runSingle(ctx context.Context, cfg config, ln net.Listener) error {
-	store := buildStore(cfg)
+func runSingle(ctx context.Context, cfg config, archive *durable.Archive, ln net.Listener) error {
+	store := buildStore(cfg, archive)
 	srv := serve.NewDynamic(store.Source(), serveOptions(cfg))
 	store.OnEvict(srv.InvalidateGeneration)
 
@@ -187,8 +222,8 @@ func runSingle(ctx context.Context, cfg config, ln net.Listener) error {
 // runShard serves one partition of the fleet: the carved data plane,
 // the /full plane, and the two-phase control plane. Generations advance
 // only on the coordinator's stage/commit orders.
-func runShard(ctx context.Context, cfg config, ln net.Listener) error {
-	store := buildStore(cfg)
+func runShard(ctx context.Context, cfg config, archive *durable.Archive, ln net.Listener) error {
+	store := buildStore(cfg, archive)
 	part, err := fleet.ComputePartition(store.Current().Result.Dataset, cfg.shards)
 	if err != nil {
 		return fmt.Errorf("computing partition: %w", err)

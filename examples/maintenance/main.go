@@ -43,12 +43,12 @@ func main() {
 	fmt.Printf("audit after 5 years:\n")
 	fmt.Printf("  still valid:        %d organizations\n", audit.StillValid)
 	fmt.Printf("  stale (privatized): %d\n", len(audit.StaleOrgs))
-	for i, name := range audit.StaleOrgs {
+	for i, row := range audit.StaleOrgs {
 		if i >= 5 {
 			fmt.Printf("    ... and %d more\n", len(audit.StaleOrgs)-5)
 			break
 		}
-		fmt.Printf("    - %s\n", name)
+		fmt.Printf("    - %s\n", row.OrgName)
 	}
 	fmt.Printf("  newly state-owned:  %d companies to add\n", len(audit.MissingCompanies))
 	fmt.Printf("  maintenance load:   %.1f%% of records need attention\n", 100*audit.MaintenanceFraction)

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"stateowned/internal/expand"
+	"stateowned/internal/hijack"
 	"stateowned/internal/ownership"
 	"stateowned/internal/rng"
 	"stateowned/internal/world"
@@ -197,6 +198,22 @@ func nationalize(w *world.World, op *world.Operator) bool {
 	return false
 }
 
+// StaleOrg is one audit row: a dataset organization whose recorded
+// classification no longer matches ground truth. Adversarial separates
+// legitimate churn (privatizations, M&A — the record really changed)
+// from hijack-coincident churn: when the generation's detection report
+// shows an observed origin change against one of the organization's
+// ASNs, the "ownership change" the audit sees may be an adversary's
+// artifact, not a registry event, and a maintainer should verify the
+// routing incident before editing the record.
+type StaleOrg struct {
+	OrgName string `json:"org_name"`
+	// Adversarial is true when the ownership change joins against a
+	// detected origin change: some ASN registered to this organization
+	// appears as a victim in the generation's hijack report.
+	Adversarial bool `json:"adversarial,omitempty"`
+}
+
 // Audit compares an existing dataset against the (possibly evolved)
 // world, producing the maintenance picture §9 anticipates. The JSON
 // form is the wire format of the serving layer's /v1/diff endpoint, so
@@ -204,8 +221,9 @@ func nationalize(w *world.World, op *world.Operator) bool {
 // generation diff.
 type Audit struct {
 	// StaleOrgs are dataset organizations that are no longer majority
-	// state-owned (privatized since publication).
-	StaleOrgs []string `json:"stale_orgs"`
+	// state-owned (privatized since publication), each row annotated
+	// with whether the change coincides with a detected hijack.
+	StaleOrgs []StaleOrg `json:"stale_orgs"`
 	// MissingCompanies are operators that became state-owned after the
 	// dataset was built.
 	MissingCompanies []string `json:"missing_companies"`
@@ -218,15 +236,37 @@ type Audit struct {
 }
 
 // RunAudit audits a dataset against the world's current ground truth.
+// Equivalent to RunAuditFlagged with no detection report: every stale
+// row is presumed legitimate churn.
 func RunAudit(ds *expand.Dataset, w *world.World) Audit {
+	return RunAuditFlagged(ds, w, nil)
+}
+
+// RunAuditFlagged audits a dataset against the world's current ground
+// truth and joins each stale row against the generation's hijack
+// detection report (nil or empty for honest generations — then it is
+// exactly RunAudit). A stale organization whose ASNs include a detected
+// victim is flagged Adversarial: the apparent ownership change
+// coincides with an observed origin change, so it may be routing
+// adversary noise rather than a registry event.
+func RunAuditFlagged(ds *expand.Dataset, w *world.World, rep *hijack.Report) Audit {
+	victims := map[world.ASN]bool{}
+	if rep != nil {
+		for _, d := range rep.Detections {
+			victims[d.Victim] = true
+		}
+	}
 	var a Audit
 	inDataset := map[string]bool{}
 	for i := range ds.Organizations {
 		org := &ds.Organizations[i]
-		valid := false
+		valid, adversarial := false, false
 		for _, asn := range ds.ASNs[i].ASNs {
 			if owner, ok := w.TrueStateOwnedAS(asn); ok && owner == org.OwnershipCC {
 				valid = true
+			}
+			if victims[asn] {
+				adversarial = true
 			}
 			if op, ok := w.OperatorOfAS(asn); ok {
 				inDataset[op.ID] = true
@@ -235,7 +275,7 @@ func RunAudit(ds *expand.Dataset, w *world.World) Audit {
 		if valid {
 			a.StillValid++
 		} else {
-			a.StaleOrgs = append(a.StaleOrgs, org.OrgName)
+			a.StaleOrgs = append(a.StaleOrgs, StaleOrg{OrgName: org.OrgName, Adversarial: adversarial})
 		}
 	}
 	for _, id := range w.OperatorIDs {
@@ -247,7 +287,7 @@ func RunAudit(ds *expand.Dataset, w *world.World) Audit {
 			a.MissingCompanies = append(a.MissingCompanies, op.BrandName)
 		}
 	}
-	sort.Strings(a.StaleOrgs)
+	sort.Slice(a.StaleOrgs, func(i, j int) bool { return a.StaleOrgs[i].OrgName < a.StaleOrgs[j].OrgName })
 	sort.Strings(a.MissingCompanies)
 	if n := len(ds.Organizations); n > 0 {
 		a.MaintenanceFraction = float64(len(a.StaleOrgs)+len(a.MissingCompanies)) / float64(n)

@@ -5,6 +5,7 @@ import (
 
 	"stateowned/internal/as2org"
 	"stateowned/internal/expand"
+	"stateowned/internal/hijack"
 	"stateowned/internal/whois"
 	"stateowned/internal/world"
 )
@@ -178,4 +179,65 @@ func TestAuditDetectsAgeing(t *testing.T) {
 	}
 	t.Logf("after 5 years: %d stale, %d missing, fraction %.3f",
 		len(aged.StaleOrgs), len(aged.MissingCompanies), aged.MaintenanceFraction)
+}
+
+// TestAuditAdversarialFlag is the regression test distinguishing
+// legitimate M&A churn from hijack-coincident churn. Two stale rows can
+// look identical in the ownership audit; only the one whose ASNs appear
+// as victims in the generation's detection report may be an adversary's
+// artifact, and only that one must carry the adversarial flag.
+func TestAuditAdversarialFlag(t *testing.T) {
+	w := world.Generate(world.Config{Seed: 7, Scale: 0.05})
+	ds := &expand.Dataset{}
+	for _, id := range w.OperatorIDs {
+		op := w.Operators[id]
+		ctrl := w.Graph.ControlOf(op.Entity)
+		if !op.Kind.InScope() || !ctrl.Controlled() || len(op.ASNs) == 0 {
+			continue
+		}
+		ds.Organizations = append(ds.Organizations, expand.OrgRecord{
+			OrgID: op.OrgID, OrgName: op.LegalName, OwnershipCC: ctrl.Controller,
+		})
+		ds.ASNs = append(ds.ASNs, expand.OrgASNs{OrgID: op.OrgID, ASNs: op.ASNs})
+	}
+	Evolve(w, 5, 11, DefaultRates())
+	plain := RunAudit(ds, w)
+	if len(plain.StaleOrgs) < 2 {
+		t.Skipf("only %d stale orgs; need two to distinguish", len(plain.StaleOrgs))
+	}
+	for _, row := range plain.StaleOrgs {
+		if row.Adversarial {
+			t.Fatalf("audit with no detection report flagged %q adversarial", row.OrgName)
+		}
+	}
+
+	// Pick one stale org and forge a detection report naming one of its
+	// ASNs as a hijack victim; every other stale row is plain M&A churn.
+	target := plain.StaleOrgs[0].OrgName
+	var victim world.ASN
+	for i := range ds.Organizations {
+		if ds.Organizations[i].OrgName == target {
+			victim = ds.ASNs[i].ASNs[0]
+		}
+	}
+	rep := &hijack.Report{Detections: []hijack.Detection{
+		{Victim: victim, Observed: victim + 1, Monitors: 3},
+	}}
+
+	flagged := RunAuditFlagged(ds, w, rep)
+	if len(flagged.StaleOrgs) != len(plain.StaleOrgs) {
+		t.Fatalf("flag join changed the stale set: %d vs %d", len(flagged.StaleOrgs), len(plain.StaleOrgs))
+	}
+	for _, row := range flagged.StaleOrgs {
+		if row.OrgName == target && !row.Adversarial {
+			t.Errorf("%q has a detected origin change but no adversarial flag", row.OrgName)
+		}
+		if row.OrgName != target && row.Adversarial {
+			t.Errorf("%q is plain M&A churn but was flagged adversarial", row.OrgName)
+		}
+	}
+	// Other audit fields are unaffected by the join.
+	if flagged.StillValid != plain.StillValid || flagged.MaintenanceFraction != plain.MaintenanceFraction {
+		t.Errorf("flag join changed audit totals: %+v vs %+v", flagged, plain)
+	}
 }

@@ -1,0 +1,425 @@
+package durable
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultRetain is how many generations the archive keeps on disk when
+// Options.Retain is 0. It is independent of the snapshot store's
+// in-memory ring: the archive may retain more history than is pinnable.
+const DefaultRetain = 8
+
+// Options configures an Archive.
+type Options struct {
+	// FS is the filesystem seam (nil = the real filesystem).
+	FS FS
+	// Dir is the archive directory; created if missing.
+	Dir string
+	// Retain bounds how many generations stay archived (0 =
+	// DefaultRetain; minimum 1). Older generations are evicted —
+	// recorded in the manifest, segment removed — as commits advance.
+	Retain int
+}
+
+// Archive is the crash-consistent generation archive. One writer (the
+// snapshot store's build path) calls Commit; recovery state is
+// immutable after Open; counters are safe to read from any goroutine.
+type Archive struct {
+	fs     FS
+	dir    string
+	retain int
+
+	mu   sync.Mutex
+	seq  int                // next manifest sequence number
+	live map[int]segmentRef // manifest-visible generations
+
+	recovery Recovery
+
+	writes        atomic.Uint64
+	writeFailures atomic.Uint64
+	verified      atomic.Uint64
+	quarantined   atomic.Uint64
+	evictions     atomic.Uint64
+}
+
+// segmentRef is the manifest's view of one archived generation.
+type segmentRef struct {
+	segment    string
+	checksum   string
+	datasetSum string
+}
+
+// RecoveredGen is one verified archived generation: its record and the
+// verbatim dataset bytes the pre-crash process exported.
+type RecoveredGen struct {
+	Record  *Record
+	Dataset []byte
+}
+
+// Quarantine is one archived generation recovery refused to adopt,
+// with the structured reason. Quarantined entries are never served;
+// they heal when the generation is rebuilt and re-committed (the new
+// segment supersedes the damaged one in the manifest).
+type Quarantine struct {
+	Gen     int    `json:"gen"`
+	Segment string `json:"segment"`
+	Reason  string `json:"reason"`
+}
+
+// Recovery is the outcome of the Open-time archive scan.
+type Recovery struct {
+	// Generations are the verified archived generations, ascending.
+	Generations []RecoveredGen
+	// Quarantined lists every manifest-referenced generation that
+	// failed verification, ascending by generation.
+	Quarantined []Quarantine
+	// ManifestNote is the decoder's truncation diagnosis when the
+	// manifest had a torn or corrupt tail ("" when it was clean).
+	ManifestNote string
+}
+
+// Open prepares the archive directory, probes that it is writable, and
+// scans the manifest, verifying every referenced segment. It never
+// fails on damaged contents — damage becomes Quarantine entries — only
+// on an unusable directory.
+func Open(opts Options) (*Archive, error) {
+	if opts.FS == nil {
+		opts.FS = OSFS{}
+	}
+	if opts.Retain <= 0 {
+		opts.Retain = DefaultRetain
+	}
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("durable: archive directory not set")
+	}
+	a := &Archive{fs: opts.FS, dir: opts.Dir, retain: opts.Retain, live: map[int]segmentRef{}}
+	if err := a.fs.MkdirAll(a.dir); err != nil {
+		return nil, fmt.Errorf("durable: creating archive dir %s: %w", a.dir, err)
+	}
+	if err := a.probe(); err != nil {
+		return nil, fmt.Errorf("durable: archive dir %s not writable: %w", a.dir, err)
+	}
+	a.scan()
+	return a, nil
+}
+
+// probe proves the directory accepts durable writes before the store
+// commits to warm-start semantics: better an exit-2 at boot than a
+// write-failure loop at the first commit.
+func (a *Archive) probe() error {
+	name := a.path(".probe")
+	w, err := a.fs.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte("probe")); err != nil {
+		w.Close()
+		return err
+	}
+	if err := w.Sync(); err != nil {
+		w.Close()
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	return a.fs.Remove(name)
+}
+
+// scan replays the manifest and verifies every referenced segment.
+func (a *Archive) scan() {
+	data, err := a.fs.ReadFile(a.path(ManifestName))
+	if err != nil {
+		return // no manifest: empty archive
+	}
+	recs, note := decodeManifest(data)
+	a.recovery.ManifestNote = note
+	if note != "" {
+		// The manifest ends in a torn or corrupt record. Appending past
+		// it would strand every future record beyond the tear (the
+		// decoder has no resynchronization point), so rewrite the
+		// manifest to its valid prefix now — atomically, temp-then-
+		// rename, exactly like a segment. If the repair itself fails the
+		// archive still recovers correctly; only future commits would
+		// stay unreachable, which the write-failure counters surface.
+		a.repairManifest(recs)
+	}
+	refs := map[int]segmentRef{}
+	for _, r := range recs {
+		if r.Seq >= a.seq {
+			a.seq = r.Seq + 1
+		}
+		switch r.Op {
+		case "commit":
+			refs[r.Gen] = segmentRef{segment: r.Segment, checksum: r.Checksum, datasetSum: r.DatasetSum}
+		case "evict":
+			delete(refs, r.Gen)
+		}
+		// Unknown ops are skipped: a future writer's records must not
+		// brick recovery by an older binary.
+	}
+	gens := make([]int, 0, len(refs))
+	for g := range refs {
+		gens = append(gens, g)
+	}
+	sort.Ints(gens)
+	for _, gen := range gens {
+		ref := refs[gen]
+		rec, dataset, reason := a.verifySegment(gen, ref)
+		if reason != "" {
+			a.recovery.Quarantined = append(a.recovery.Quarantined,
+				Quarantine{Gen: gen, Segment: ref.segment, Reason: reason})
+			a.quarantined.Add(1)
+			continue
+		}
+		a.live[gen] = ref
+		a.recovery.Generations = append(a.recovery.Generations, RecoveredGen{Record: rec, Dataset: dataset})
+		a.verified.Add(1)
+	}
+}
+
+// repairManifest rewrites the manifest to the given (verified-prefix)
+// records, truncating a torn tail so subsequent appends are reachable.
+func (a *Archive) repairManifest(recs []manifestRecord) {
+	var buf []byte
+	for _, r := range recs {
+		frame, err := encodeManifestRecord(r)
+		if err != nil {
+			a.writeFailures.Add(1)
+			return
+		}
+		buf = append(buf, frame...)
+	}
+	tmp := a.path(ManifestName + ".tmp")
+	if err := a.writeFileSync(tmp, buf); err != nil {
+		a.writeFailures.Add(1)
+		return
+	}
+	if err := a.fs.Rename(tmp, a.path(ManifestName)); err != nil {
+		a.writeFailures.Add(1)
+		return
+	}
+	if err := a.fs.SyncDir(a.dir); err != nil {
+		a.writeFailures.Add(1)
+	}
+}
+
+// verifySegment loads and verifies one manifest-referenced segment,
+// returning a structured quarantine reason on any failure.
+func (a *Archive) verifySegment(gen int, ref segmentRef) (*Record, []byte, string) {
+	data, err := a.fs.ReadFile(a.path(ref.segment))
+	if err != nil {
+		return nil, nil, fmt.Sprintf("segment missing: %v", err)
+	}
+	rec, dataset, sum, err := decodeSegment(data)
+	if err != nil {
+		return nil, nil, err.Error()
+	}
+	if sum.String() != ref.checksum {
+		return nil, nil, fmt.Sprintf("manifest/segment checksum disagreement: manifest %s, segment %s",
+			ref.checksum[:12], sum.String()[:12])
+	}
+	if rec.Gen != gen {
+		return nil, nil, fmt.Sprintf("generation mismatch: manifest says %d, segment says %d", gen, rec.Gen)
+	}
+	if rec.DatasetSum != DatasetSum(dataset) {
+		return nil, nil, "dataset fingerprint mismatch"
+	}
+	return rec, dataset, ""
+}
+
+// Recovered returns the Open-time scan outcome. The slices are owned
+// by the archive; callers must not mutate them.
+func (a *Archive) Recovered() *Recovery { return &a.recovery }
+
+// NoteQuarantine records a quarantine decided above the archive layer
+// (the snapshot store's re-import self-check), keeping the quarantine
+// ledger and counter in one place.
+func (a *Archive) NoteQuarantine(gen int, reason string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.recovery.Quarantined = append(a.recovery.Quarantined,
+		Quarantine{Gen: gen, Segment: segmentName(gen), Reason: reason})
+	a.quarantined.Add(1)
+}
+
+// Counters is the archive's observability snapshot, surfaced on
+// /metrics and /readyz.
+type Counters struct {
+	// Writes counts segments durably committed by this process;
+	// WriteFailures counts Commit calls that failed (the store keeps
+	// serving from memory — a broken disk degrades durability, never
+	// availability).
+	Writes        uint64 `json:"archive_writes"`
+	WriteFailures uint64 `json:"archive_write_failures"`
+	// SegmentsVerified and SegmentsQuarantined count recovery-time
+	// verification outcomes (plus post-recovery quarantines noted by
+	// the store).
+	SegmentsVerified    uint64 `json:"segments_verified"`
+	SegmentsQuarantined uint64 `json:"segments_quarantined"`
+	// Evictions counts generations retired by the retention bound.
+	Evictions uint64 `json:"archive_evictions"`
+}
+
+// Counters reads the current counter values.
+func (a *Archive) Counters() Counters {
+	return Counters{
+		Writes:              a.writes.Load(),
+		WriteFailures:       a.writeFailures.Load(),
+		SegmentsVerified:    a.verified.Load(),
+		SegmentsQuarantined: a.quarantined.Load(),
+		Evictions:           a.evictions.Load(),
+	}
+}
+
+// Retain reports the archive's retention bound.
+func (a *Archive) Retain() int { return a.retain }
+
+// DatasetSums returns gen → dataset fingerprint for every generation
+// the manifest currently references — the fleet bootstrap's
+// cross-shard agreement table.
+func (a *Archive) DatasetSums() map[int]string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[int]string, len(a.live))
+	for g, ref := range a.live {
+		out[g] = ref.datasetSum
+	}
+	return out
+}
+
+func segmentName(gen int) string { return fmt.Sprintf("gen-%08d.seg", gen) }
+
+func (a *Archive) path(name string) string { return filepath.Join(a.dir, name) }
+
+// Commit durably archives one generation: segment written
+// temp-then-fsync-then-rename, directory synced, then the manifest
+// record appended and synced. Returns the dataset fingerprint it
+// recorded. Idempotent per generation — re-committing (after a crash
+// that lost the manifest append, or to heal a quarantined segment)
+// atomically replaces the segment and appends a superseding record.
+// On error the archive is unchanged as far as recovery is concerned:
+// at worst an unreferenced temporary or orphan segment remains, which
+// the next Commit for that generation overwrites.
+func (a *Archive) Commit(rec *Record, dataset []byte) (string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	sum, err := a.commitLocked(rec, dataset)
+	if err != nil {
+		a.writeFailures.Add(1)
+		return "", err
+	}
+	a.writes.Add(1)
+	// Retention: evict everything older than the window, oldest first
+	// (a deterministic order keeps the manifest bytes reproducible).
+	// Eviction failures are write failures too, but the commit stands.
+	floor := rec.Gen - a.retain + 1
+	var old []int
+	for g := range a.live {
+		if g < floor {
+			old = append(old, g)
+		}
+	}
+	sort.Ints(old)
+	for _, g := range old {
+		if err := a.evictLocked(g); err != nil {
+			a.writeFailures.Add(1)
+			return sum, nil
+		}
+	}
+	return sum, nil
+}
+
+func (a *Archive) commitLocked(rec *Record, dataset []byte) (string, error) {
+	rec.DatasetSum = DatasetSum(dataset)
+	final := segmentName(rec.Gen)
+	tmp := final + ".tmp"
+	seg, segSum, err := encodeSegment(rec, dataset)
+	if err != nil {
+		return "", err
+	}
+	if err := a.writeFileSync(a.path(tmp), seg); err != nil {
+		return "", fmt.Errorf("writing segment %s: %w", tmp, err)
+	}
+	if err := a.fs.Rename(a.path(tmp), a.path(final)); err != nil {
+		return "", fmt.Errorf("publishing segment %s: %w", final, err)
+	}
+	if err := a.fs.SyncDir(a.dir); err != nil {
+		return "", fmt.Errorf("syncing archive dir: %w", err)
+	}
+	mrec := manifestRecord{
+		Op: "commit", Seq: a.seq, Gen: rec.Gen,
+		Segment: final, Checksum: segSum.String(), DatasetSum: rec.DatasetSum,
+	}
+	if err := a.appendManifest(mrec); err != nil {
+		return "", err
+	}
+	a.live[rec.Gen] = segmentRef{segment: final, checksum: mrec.Checksum, datasetSum: mrec.DatasetSum}
+	return rec.DatasetSum, nil
+}
+
+// evictLocked retires one generation: the evict record goes first, the
+// segment file second — a crash in between leaves an orphan segment the
+// manifest no longer references, which recovery ignores.
+func (a *Archive) evictLocked(gen int) error {
+	ref := a.live[gen]
+	if err := a.appendManifest(manifestRecord{Op: "evict", Seq: a.seq, Gen: gen}); err != nil {
+		return err
+	}
+	delete(a.live, gen)
+	a.evictions.Add(1)
+	if err := a.fs.Remove(a.path(ref.segment)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// appendManifest frames, appends and fsyncs one record, then syncs the
+// directory so a freshly created manifest's name is durable too.
+func (a *Archive) appendManifest(rec manifestRecord) error {
+	buf, err := encodeManifestRecord(rec)
+	if err != nil {
+		return err
+	}
+	w, err := a.fs.OpenAppend(a.path(ManifestName))
+	if err != nil {
+		return fmt.Errorf("opening manifest: %w", err)
+	}
+	if _, err := w.Write(buf); err != nil {
+		w.Close()
+		return fmt.Errorf("appending manifest record: %w", err)
+	}
+	if err := w.Sync(); err != nil {
+		w.Close()
+		return fmt.Errorf("syncing manifest: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return fmt.Errorf("closing manifest: %w", err)
+	}
+	if err := a.fs.SyncDir(a.dir); err != nil {
+		return fmt.Errorf("syncing archive dir: %w", err)
+	}
+	a.seq++
+	return nil
+}
+
+// writeFileSync writes name in one create-write-fsync-close sequence.
+func (a *Archive) writeFileSync(name string, data []byte) error {
+	w, err := a.fs.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		w.Close()
+		return err
+	}
+	if err := w.Sync(); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}

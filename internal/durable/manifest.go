@@ -1,0 +1,105 @@
+package durable
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"stateowned/internal/sched"
+)
+
+// ManifestName is the append-only log of archive state transitions,
+// one individually checksummed record per committed or evicted
+// generation. The manifest is the recovery root: a segment the
+// manifest does not reference does not exist, no matter what the
+// directory listing says.
+const ManifestName = "MANIFEST"
+
+// maxManifestPayload bounds a single record. Records are small JSON
+// objects; anything claiming to be larger is a torn or corrupt length
+// prefix, and the decoder must not allocate gigabytes on its say-so.
+const maxManifestPayload = 1 << 20
+
+// manifestRecord is one manifest entry.
+//
+// Op "commit" binds a generation number to a named, checksummed
+// segment; a later commit for the same generation supersedes the
+// earlier one (that is how a re-committed generation heals a corrupt
+// segment). Op "evict" retires a generation from the archive.
+//
+// Seq is a monotone record counter — pure diagnostics and golden-file
+// stability, never control flow. Nothing here is a timestamp: the
+// manifest bytes for a given build sequence are deterministic, which is
+// what lets the golden fixture pin them exactly.
+type manifestRecord struct {
+	Op       string `json:"op"`
+	Seq      int    `json:"seq"`
+	Gen      int    `json:"gen"`
+	Segment  string `json:"segment,omitempty"`
+	Checksum string `json:"checksum,omitempty"`
+	// DatasetSum mirrors Record.DatasetSum so fleet agreement checks
+	// can be answered from the manifest alone.
+	DatasetSum string `json:"dataset_sum,omitempty"`
+}
+
+// encodeManifestRecord frames one record:
+//
+//	u32 len(payload) | payload JSON | 32-byte checksum of the payload
+//
+// Each record carries its own checksum so a torn append (the only
+// mutation an append-only file admits) damages at most the tail, and
+// the decoder can prove exactly where the valid prefix ends.
+func encodeManifestRecord(rec manifestRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("encoding manifest record: %w", err)
+	}
+	buf := make([]byte, 0, 4+len(payload)+32)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	h := sched.NewHasher(manifestDomain)
+	h.Bytes(payload)
+	sum := h.Sum()
+	return append(buf, sum[:]...), nil
+}
+
+// decodeManifest walks the record stream and returns the longest valid
+// prefix. It never fails and never panics: the first record that does
+// not verify — truncated frame, oversized length, checksum mismatch,
+// JSON that does not decode — ends the manifest there, and note says
+// why and at which byte offset. Records beyond a damaged one are
+// unreachable by design: with no trustworthy length prefix there is no
+// safe resynchronization point, and guessing would risk adopting bytes
+// that happen to checksum by accident.
+func decodeManifest(data []byte) (recs []manifestRecord, note string) {
+	off := 0
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < 4 {
+			return recs, fmt.Sprintf("torn tail at byte %d: %d trailing bytes, record frame needs 4", off, len(rest))
+		}
+		n := int(binary.BigEndian.Uint32(rest))
+		if n > maxManifestPayload {
+			return recs, fmt.Sprintf("corrupt record at byte %d: payload length %d exceeds bound", off, n)
+		}
+		if len(rest) < 4+n+32 {
+			return recs, fmt.Sprintf("torn tail at byte %d: record wants %d bytes, %d remain", off, 4+n+32, len(rest))
+		}
+		payload := rest[4 : 4+n]
+		h := sched.NewHasher(manifestDomain)
+		h.Bytes(payload)
+		sum := h.Sum()
+		var stored sched.Fingerprint
+		copy(stored[:], rest[4+n:4+n+32])
+		if sum != stored {
+			return recs, fmt.Sprintf("corrupt record at byte %d: checksum mismatch", off)
+		}
+		var rec manifestRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, fmt.Sprintf("corrupt record at byte %d: %v", off, err)
+		}
+		recs = append(recs, rec)
+		off += 4 + n + 32
+	}
+	return recs, ""
+}

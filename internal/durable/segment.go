@@ -1,0 +1,136 @@
+package durable
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"stateowned/internal/churn"
+	"stateowned/internal/hijack"
+	"stateowned/internal/runner"
+	"stateowned/internal/sched"
+	"stateowned/internal/serve"
+)
+
+// Record is everything the archive persists about one committed
+// generation besides the dataset bytes themselves: the serving
+// provenance, the build's health report, the hijack detection report,
+// the churn events that led here, and the churn-audit spans against the
+// generations retained at commit time (so /v1/diff keeps answering for
+// recovered generations whose ground-truth world is gone).
+//
+// Deliberately absent: the world (its ownership graph is process
+// memory, rebuilt deterministically by the next live generation), the
+// compiled index (recompiled from the dataset bytes — BuildIndex is a
+// pure function, so the recompiled index answers byte-identically), and
+// all wall-clock measurement (timings would make archived bytes differ
+// run to run; see runner.HealthSnapshot).
+type Record struct {
+	Gen         int                   `json:"gen"`
+	Provenance  serve.Provenance      `json:"provenance"`
+	Health      runner.HealthSnapshot `json:"health"`
+	Hijacks     *hijack.Report        `json:"hijacks,omitempty"`
+	Events      []churn.Event         `json:"events,omitempty"`
+	TotalEvents int                   `json:"total_events"`
+	Spans       []AuditSpan           `json:"spans,omitempty"`
+	// DatasetSum is the fingerprint of the dataset bytes alone,
+	// excluding everything process-local (worker counts, health rows).
+	// Fleet bootstrap compares it across independently recovered shards:
+	// two shards claiming the same generation must hold the same bytes.
+	DatasetSum string `json:"dataset_sum"`
+}
+
+// AuditSpan is one archived /v1/diff answer: the churn audit of
+// generation From's dataset against generation To's ground truth,
+// computed while both were resident.
+type AuditSpan struct {
+	From  int         `json:"from"`
+	To    int         `json:"to"`
+	Audit churn.Audit `json:"audit"`
+}
+
+// Segment file layout (all integers big-endian):
+//
+//	magic "SOARCH1\n"
+//	u32 len(meta JSON) | meta JSON (the Record)
+//	u32 len(dataset)   | dataset bytes, verbatim expand.Export output
+//	32-byte SHA-256 checksum over everything above (domain-separated
+//	via the sched fingerprint hasher)
+//
+// The checksum is last so a torn segment write fails verification for
+// free; the exact-length check makes trailing garbage equally fatal.
+const segmentMagic = "SOARCH1\n"
+
+// checksum domains, in the sched fingerprint discipline: every hash is
+// domain-separated so segment, manifest and dataset sums can never be
+// confused for one another.
+const (
+	segmentDomain  = "durable/segment"
+	manifestDomain = "durable/manifest"
+	datasetDomain  = "durable/dataset"
+)
+
+// DatasetSum fingerprints dataset bytes for cross-shard agreement
+// checks.
+func DatasetSum(dataset []byte) string {
+	h := sched.NewHasher(datasetDomain)
+	h.Bytes(dataset)
+	return h.Sum().String()
+}
+
+// encodeSegment serializes a generation record and its dataset bytes.
+func encodeSegment(rec *Record, dataset []byte) ([]byte, sched.Fingerprint, error) {
+	meta, err := json.Marshal(rec)
+	if err != nil {
+		return nil, sched.Fingerprint{}, fmt.Errorf("encoding segment metadata: %w", err)
+	}
+	buf := make([]byte, 0, len(segmentMagic)+8+len(meta)+len(dataset)+32)
+	buf = append(buf, segmentMagic...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(meta)))
+	buf = append(buf, meta...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(dataset)))
+	buf = append(buf, dataset...)
+	h := sched.NewHasher(segmentDomain)
+	h.Bytes(buf)
+	sum := h.Sum()
+	return append(buf, sum[:]...), sum, nil
+}
+
+// decodeSegment verifies and decodes a segment file. The error message
+// is the structured quarantine reason.
+func decodeSegment(data []byte) (*Record, []byte, sched.Fingerprint, error) {
+	var zero sched.Fingerprint
+	if len(data) < len(segmentMagic)+8+32 {
+		return nil, nil, zero, fmt.Errorf("segment truncated: %d bytes", len(data))
+	}
+	if string(data[:len(segmentMagic)]) != segmentMagic {
+		return nil, nil, zero, fmt.Errorf("bad segment magic %q", data[:len(segmentMagic)])
+	}
+	body, tail := data[:len(data)-32], data[len(data)-32:]
+	h := sched.NewHasher(segmentDomain)
+	h.Bytes(body)
+	sum := h.Sum()
+	var stored sched.Fingerprint
+	copy(stored[:], tail)
+	if sum != stored {
+		return nil, nil, zero, fmt.Errorf("segment checksum mismatch: stored %s, computed %s",
+			stored.String()[:12], sum.String()[:12])
+	}
+	p := body[len(segmentMagic):]
+	metaLen := int(binary.BigEndian.Uint32(p))
+	p = p[4:]
+	if metaLen < 0 || metaLen > len(p)-4 {
+		return nil, nil, zero, fmt.Errorf("segment metadata length %d out of bounds", metaLen)
+	}
+	meta, p := p[:metaLen], p[metaLen:]
+	dataLen := int(binary.BigEndian.Uint32(p))
+	p = p[4:]
+	if dataLen != len(p) {
+		return nil, nil, zero, fmt.Errorf("segment dataset length %d, have %d bytes", dataLen, len(p))
+	}
+	var rec Record
+	if err := json.Unmarshal(meta, &rec); err != nil {
+		return nil, nil, zero, fmt.Errorf("segment metadata decode failed: %v", err)
+	}
+	return &rec, p, sum, nil
+}

@@ -277,6 +277,28 @@ func (c *Coordinator) Bootstrap(ctx context.Context) (int, error) {
 			return 0, fmt.Errorf("fleet bootstrap: shard %d does not retain generation %d", i, adopt)
 		}
 	}
+	// Shards with durable archives recovered independently; agreeing on
+	// a generation *number* is not yet agreeing on its *bytes*. Every
+	// archived dataset fingerprint for the adopted generation must
+	// match across the fleet — a shard whose recovery landed on
+	// different bytes (corrupted archive healed from a divergent build,
+	// mismatched seeds) must be caught before the router pins to it.
+	sum, sumShard := "", -1
+	for i, st := range statuses {
+		s, ok := st.DatasetSums[adopt]
+		if !ok || s == "" {
+			continue
+		}
+		if sum == "" {
+			sum, sumShard = s, i
+			continue
+		}
+		if s != sum {
+			return 0, fmt.Errorf(
+				"fleet bootstrap: recovered generation %d disagrees across shards: shard %d has dataset %s, shard %d has %s",
+				adopt, sumShard, sum[:12], i, s[:12])
+		}
+	}
 	c.router.SetGen(adopt)
 	c.mu.Lock()
 	c.status.Gen = adopt

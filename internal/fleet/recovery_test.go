@@ -1,0 +1,248 @@
+package fleet
+
+// Fleet-scope recovery proofs: shards recover from their own durable
+// archives independently, Bootstrap adopts the newest generation every
+// shard actually holds — cross-checking that "the same generation
+// number" means "the same dataset bytes" — and the next flip converges
+// stragglers whose disks died mid-history. The negative case proves a
+// shard whose archive holds divergent bytes for an agreed generation is
+// refused, not served.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"stateowned"
+	"stateowned/internal/durable"
+	"stateowned/internal/serve"
+	"stateowned/internal/snapshot"
+)
+
+// archivedShardStore builds one shard's store persisting to an archive
+// over the given filesystem seam.
+func archivedShardStore(t *testing.T, cfg fleetConfig, fs durable.FS) *snapshot.Store {
+	t.Helper()
+	a, err := durable.Open(durable.Options{FS: fs, Dir: "arch"})
+	if err != nil {
+		t.Fatalf("opening shard archive: %v", err)
+	}
+	return snapshot.New(snapshot.Options{
+		Base: stateowned.Config{
+			Seed: cfg.seed, Scale: cfg.scale,
+			HijackSeverity: cfg.hijack, ROVFraction: cfg.rov,
+		},
+		Retain:  cfg.retain,
+		Archive: a,
+	})
+}
+
+// assembleFleet wires pre-built stores into shard servers, a router and
+// a coordinator on a fresh transport — the recovery tests assemble the
+// "restarted" fleet over recovered stores with the same partition the
+// dead fleet used.
+func assembleFleet(t *testing.T, part Partition, stores []*snapshot.Store) *testFleet {
+	t.Helper()
+	tr := newHandlerTransport()
+	httpClient := &http.Client{Transport: tr}
+	tf := &testFleet{part: part, transport: tr}
+	for i, s := range stores {
+		sh := NewShardServer(s, part, i, serve.Options{})
+		tf.shards = append(tf.shards, sh)
+		host := fmt.Sprintf("shard%d", i)
+		tr.register(host, sh)
+		tf.clients = append(tf.clients, ShardClient{Index: i, Base: "http://" + host, HTTP: httpClient})
+	}
+	router, err := NewRouter(RouterOptions{Partition: part, Shards: tf.clients, After: neverAfter})
+	if err != nil {
+		t.Fatalf("building router: %v", err)
+	}
+	tf.router = router
+	tf.coord = NewCoordinator(tf.router, tf.clients, CoordinatorOptions{})
+	return tf
+}
+
+// fleetRecordPaths is the router-level record-plane battery: everything
+// a recovered fleet must answer byte-identically to its pre-crash self.
+// Graph paths are deliberately absent — the topology plane is process
+// memory and honestly 404s on recovered generations.
+func fleetRecordPaths(s *snapshot.Store) []string {
+	ds := s.Current().Result.Dataset
+	var asns []string
+	for i := range ds.ASNs {
+		for _, a := range ds.ASNs[i].ASNs {
+			asns = append(asns, strconv.FormatUint(uint64(a), 10))
+		}
+		if len(asns) >= 4 {
+			break
+		}
+	}
+	return []string{
+		"/v1/asn/" + asns[0],
+		"/v1/asn/" + asns[len(asns)-1],
+		"/v1/country/" + ds.Organizations[0].OwnershipCC,
+		"/v1/org/" + ds.Organizations[0].OrgID,
+		"/v1/search?name=telecom",
+		"/v1/dataset",
+		"/v1/hijacks",
+	}
+}
+
+// fleetProbe captures one pinned router answer.
+type fleetProbe struct {
+	status int
+	body   string
+}
+
+// captureFleet snapshots the battery pinned at each generation in gens,
+// plus every /v1/diff pair among them.
+func captureFleet(tf *testFleet, paths []string, gens []int) map[string]fleetProbe {
+	out := map[string]fleetProbe{}
+	for _, gen := range gens {
+		for _, p := range paths {
+			sep := "?"
+			if strings.ContainsRune(p, '?') {
+				sep = "&"
+			}
+			pp := p + sep + "gen=" + strconv.Itoa(gen)
+			rec := tf.get(pp)
+			out[pp] = fleetProbe{rec.Code, rec.Body.String()}
+		}
+	}
+	for _, from := range gens {
+		for _, to := range gens {
+			if from == to {
+				continue
+			}
+			p := fmt.Sprintf("/v1/diff?from=%d&to=%d", from, to)
+			rec := tf.get(p)
+			out[p] = fleetProbe{rec.Code, rec.Body.String()}
+		}
+	}
+	return out
+}
+
+// TestFleetRecoversIndependentlyAndConverges is the two-shard recovery
+// drill from the issue: shard 0's disk dies before generation 2 is
+// archived, both processes are killed, both shards recover from what
+// their own disks hold (shard 0 lands on generation 1, shard 1 on 2),
+// Bootstrap pins the router to the newest generation both hold — after
+// proving their archived bytes agree — and the next flip converges
+// shard 0 to generation 2 with byte-identical content. Finally, a
+// forged archive entry (same generation number, different bytes) must
+// make Bootstrap refuse the fleet.
+func TestFleetRecoversIndependentlyAndConverges(t *testing.T) {
+	ctx := context.Background()
+	cfg := fleetConfig{seed: 42, scale: 0.05, shards: 2, retain: 8, hijack: 0.75, rov: 0.25}
+
+	mems := []*durable.MemFS{durable.NewMemFS(), durable.NewMemFS()}
+	ffs0 := durable.NewFaultFS(mems[0])
+
+	// The original fleet: both shards archive as they advance.
+	stores := make([]*snapshot.Store, 2)
+	var wg sync.WaitGroup
+	for i, fs := range []durable.FS{ffs0, mems[1]} {
+		wg.Add(1)
+		go func(i int, fs durable.FS) {
+			defer wg.Done()
+			stores[i] = archivedShardStore(t, cfg, fs)
+		}(i, fs)
+	}
+	wg.Wait()
+	part, err := ComputePartition(stores[0].Current().Result.Dataset, 2)
+	if err != nil {
+		t.Fatalf("computing partition: %v", err)
+	}
+	tf := assembleFleet(t, part, stores)
+
+	if _, err := tf.coord.FlipOnce(ctx); err != nil {
+		t.Fatalf("flip to generation 1: %v", err)
+	}
+	// Shard 0's disk dies now: generation 2 will publish fleet-wide from
+	// memory but never reach shard 0's archive.
+	ffs0.SetCrashAt(ffs0.Ops())
+	if _, err := tf.coord.FlipOnce(ctx); err != nil {
+		t.Fatalf("flip to generation 2: %v", err)
+	}
+	if c := stores[0].Archive().Counters(); c.WriteFailures == 0 {
+		t.Fatalf("shard 0's dead disk went unnoticed: %+v", c)
+	}
+	if c := stores[1].Archive().Counters(); c.WriteFailures != 0 || c.Writes != 3 {
+		t.Fatalf("shard 1 did not archive the full chain: %+v", c)
+	}
+
+	paths := fleetRecordPaths(stores[0])
+	// pre01 is the sub-battery the half-recovered fleet must already
+	// answer; preAll additionally pins generation 2, coherent only after
+	// the converging flip.
+	pre01 := captureFleet(tf, paths, []int{0, 1})
+	preAll := captureFleet(tf, paths, []int{0, 1, 2})
+
+	// The crash: both processes die; each disk keeps what fsync proved.
+	mems[0].Crash(0)
+	mems[1].Crash(0)
+
+	// Independent recovery: each shard warm-starts from its own archive.
+	recovered := make([]*snapshot.Store, 2)
+	for i, mem := range mems {
+		recovered[i] = archivedShardStore(t, cfg, mem)
+	}
+	if got := recovered[0].RecoveredGen(); got != 1 {
+		t.Fatalf("shard 0 recovered generation %d, want 1 (its disk died before 2 was archived)", got)
+	}
+	if got := recovered[1].RecoveredGen(); got != 2 {
+		t.Fatalf("shard 1 recovered generation %d, want 2", got)
+	}
+
+	tf2 := assembleFleet(t, part, recovered)
+	adopt, err := tf2.coord.Bootstrap(ctx)
+	if err != nil {
+		t.Fatalf("bootstrap over recovered shards: %v", err)
+	}
+	if adopt != 1 || tf2.router.Gen() != 1 {
+		t.Fatalf("bootstrap adopted generation %d (router pins %d), want 1 — the newest generation every shard holds",
+			adopt, tf2.router.Gen())
+	}
+	// The recovered fleet serves generations 0 and 1 byte-identically.
+	for p, want := range pre01 {
+		rec := tf2.get(p)
+		if rec.Code != want.status || rec.Body.String() != want.body {
+			t.Errorf("GET %s diverges after fleet recovery\npre-crash (%d): %.200s\nrecovered (%d): %.200s",
+				p, want.status, want.body, rec.Code, rec.Body.String())
+		}
+	}
+
+	// Convergence: the next flip re-stages generation 2 — a rebuild on
+	// shard 0, an idempotent ack on shard 1 (already live there) — and
+	// the whole pre-crash surface is back, byte for byte.
+	gen, err := tf2.coord.FlipOnce(ctx)
+	if err != nil {
+		t.Fatalf("converging flip: %v", err)
+	}
+	if gen != 2 {
+		t.Fatalf("converging flip landed on generation %d, want 2", gen)
+	}
+	for p, want := range preAll {
+		rec := tf2.get(p)
+		if rec.Code != want.status || rec.Body.String() != want.body {
+			t.Errorf("GET %s diverges after convergence\npre-crash (%d): %.200s\nconverged (%d): %.200s",
+				p, want.status, want.body, rec.Code, rec.Body.String())
+		}
+	}
+
+	// Negative case: forge shard 0's archive so generation 2 maps to
+	// different dataset bytes. The generation numbers still agree
+	// fleet-wide; the fingerprints do not — Bootstrap must refuse.
+	if _, err := recovered[0].Archive().Commit(&durable.Record{Gen: 2}, []byte("forged dataset bytes")); err != nil {
+		t.Fatalf("forging shard 0's archive: %v", err)
+	}
+	if _, err := tf2.coord.Bootstrap(ctx); err == nil {
+		t.Fatal("bootstrap accepted a fleet whose shards hold different bytes for the same generation")
+	} else if !strings.Contains(err.Error(), "disagrees across shards") {
+		t.Fatalf("bootstrap refusal names the wrong cause: %v", err)
+	}
+}

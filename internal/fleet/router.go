@@ -438,9 +438,19 @@ func (rt *Router) scatter(ctx context.Context, path string) []leg {
 // anyShard asks shards in rotation until one yields an HTTP response —
 // for fleet-wide answers (/v1/dataset, /v1/diff) any single shard's
 // full plane can serve. pin non-empty additionally requires coherence.
+//
+// A 404 is not the fleet's answer yet: after divergent recovery, shards
+// legitimately hold different archive histories (one disk died earlier
+// than another), so "I don't hold that generation/span" from one shard
+// may still be served by the next. Rotation continues past 404s and the
+// first one is returned only when no shard can do better — the fleet
+// answers 404 exactly when nobody holds it, independent of rotation
+// phase. Other statuses (400, 410, 503…) are deterministic verdicts
+// about the request itself and pass through from the first responder.
 func (rt *Router) anyShard(ctx context.Context, path, pin string) (leg, []int) {
 	start := int(rt.rr.Add(1))
 	var failed []int
+	var miss *leg
 	for i := 0; i < len(rt.shards); i++ {
 		shard := (start + i) % len(rt.shards)
 		l := rt.fetchLeg(ctx, shard, path)
@@ -452,9 +462,19 @@ func (rt *Router) anyShard(ctx context.Context, path, pin string) (leg, []int) {
 			failed = append(failed, shard)
 			continue
 		}
+		if l.status == http.StatusNotFound {
+			if miss == nil {
+				miss = &l
+			}
+			continue
+		}
+		sort.Ints(failed)
 		return l, failed
 	}
 	sort.Ints(failed) // rotation order is arbitrary; the wire contract is ascending
+	if miss != nil {
+		return *miss, failed
+	}
 	return leg{err: errors.New("fleet: no shard answered")}, failed
 }
 

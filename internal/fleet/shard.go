@@ -44,6 +44,13 @@ type ShardStatus struct {
 	StagedGen int                `json:"staged_gen"` // -1 when nothing is staged
 	Retained  []int              `json:"retained"`
 	Reload    serve.ReloadStatus `json:"reload"`
+	// DatasetSums maps archived generation → dataset fingerprint when
+	// the shard persists to a durable archive (absent otherwise).
+	// Shards recover from their archives independently; Bootstrap
+	// compares these fingerprints so two shards claiming the same
+	// generation number are proven to hold the same dataset bytes
+	// before the router pins to it.
+	DatasetSums map[int]string `json:"dataset_sums,omitempty"`
 }
 
 // StageAck is the control-plane body for stage/commit/abort responses.
@@ -129,10 +136,11 @@ func (sh *ShardServer) Status() ShardStatus {
 		Shard:     sh.src.shard,
 		Shards:    sh.src.part.Shards,
 		Partition: sh.src.part,
-		LiveGen:   sh.store.Current().Gen,
-		StagedGen: sh.store.StagedGen(),
-		Retained:  sh.store.Retained(),
-		Reload:    sh.store.Source().ReloadStatus(),
+		LiveGen:     sh.store.Current().Gen,
+		StagedGen:   sh.store.StagedGen(),
+		Retained:    sh.store.Retained(),
+		Reload:      sh.store.Source().ReloadStatus(),
+		DatasetSums: sh.store.DatasetSums(),
 	}
 }
 

@@ -1,0 +1,50 @@
+package runner
+
+// HealthSnapshot is the serializable form of a Health report: what the
+// durable generation archive persists so a recovered generation answers
+// /readyz and /metrics exactly as it did before the crash.
+//
+// Timings are deliberately absent. They are measurement, not simulation
+// (see NodeTiming): archiving wall times would make the archived bytes
+// vary run to run, breaking both the manifest's determinism (the golden
+// fixture pins exact bytes per seed) and the recovered-equals-pre-crash
+// byte-identity proof. A recovered Health reports no timings, which is
+// truthful — the recovered process never ran those builds.
+type HealthSnapshot struct {
+	Severity float64        `json:"severity"`
+	Workers  int            `json:"workers"`
+	Stages   []StageHealth  `json:"stages,omitempty"`
+	Sources  []SourceHealth `json:"sources,omitempty"` // first-touch order
+}
+
+// Snapshot captures the report's serializable state. Safe for
+// concurrent use with the mutating methods; rows are copied by value,
+// so the snapshot does not alias live state.
+func (h *Health) Snapshot() HealthSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	snap := HealthSnapshot{
+		Severity: h.Severity,
+		Workers:  h.Workers,
+		Stages:   append([]StageHealth(nil), h.Stages...),
+	}
+	for _, name := range h.order {
+		snap.Sources = append(snap.Sources, *h.sources[name])
+	}
+	return snap
+}
+
+// RestoreHealth rebuilds a Health report from its archived snapshot.
+// The restored report answers Ready, DegradedSources, Render and every
+// other read identically to the original; its Timings are empty.
+func RestoreHealth(snap HealthSnapshot) *Health {
+	h := NewHealth(snap.Severity)
+	h.Workers = snap.Workers
+	h.Stages = append([]StageHealth(nil), snap.Stages...)
+	for _, src := range snap.Sources {
+		row := src
+		h.sources[row.Name] = &row
+		h.order = append(h.order, row.Name)
+	}
+	return h
+}

@@ -157,7 +157,7 @@ func TestGenerationCacheIsolation(t *testing.T) {
 func TestDiffEndpoint(t *testing.T) {
 	src := newFakeSource()
 	src.audit = &churn.Audit{
-		StaleOrgs:           []string{"ORG-0003"},
+		StaleOrgs:           []churn.StaleOrg{{OrgName: "ORG-0003", Adversarial: true}},
 		MissingCompanies:    []string{"NewTel"},
 		StillValid:          2,
 		MaintenanceFraction: 0.5,
@@ -172,8 +172,8 @@ func TestDiffEndpoint(t *testing.T) {
 	if resp.From != 0 || resp.To != 1 {
 		t.Fatalf("diff envelope = %+v", resp)
 	}
-	if len(resp.Audit.StaleOrgs) != 1 || resp.Audit.StaleOrgs[0] != "ORG-0003" ||
-		resp.Audit.MaintenanceFraction != 0.5 {
+	if len(resp.Audit.StaleOrgs) != 1 || resp.Audit.StaleOrgs[0].OrgName != "ORG-0003" ||
+		!resp.Audit.StaleOrgs[0].Adversarial || resp.Audit.MaintenanceFraction != 0.5 {
 		t.Fatalf("diff audit = %+v", resp.Audit)
 	}
 

@@ -198,6 +198,18 @@ type Snapshot struct {
 	NodesRebuilt uint64 `json:"nodes_rebuilt,omitempty"`
 	IndexReuses  uint64 `json:"index_reuses,omitempty"`
 	GraphReuses  uint64 `json:"graph_reuses,omitempty"`
+	// Durable-archive counters, copied from the source's ReloadStatus
+	// (absent for memory-only sources). Recovered/RecoveredGen report a
+	// warm start adopted from the archive.
+	Archive   bool `json:"archive,omitempty"`
+	Recovered bool `json:"recovered,omitempty"`
+	// Pointer for the same reason as ReadyResponse.RecoveredGen: a warm
+	// start onto generation 0 must not disappear behind omitempty.
+	RecoveredGen         *int   `json:"recovered_gen,omitempty"`
+	SegmentsVerified     uint64 `json:"segments_verified,omitempty"`
+	SegmentsQuarantined  uint64 `json:"segments_quarantined,omitempty"`
+	ArchiveWrites        uint64 `json:"archive_writes,omitempty"`
+	ArchiveWriteFailures uint64 `json:"archive_write_failures,omitempty"`
 }
 
 // Snapshot captures the registry (endpoints sorted by name for a stable

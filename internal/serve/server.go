@@ -721,10 +721,23 @@ type ReadyResponse struct {
 	ReloadGaveUp   bool           `json:"reload_gave_up,omitempty"`
 	// Incremental-rebuild reuse counters (cumulative over the store's
 	// lifetime), present only when the source rebuilds incrementally.
-	Incremental    bool           `json:"incremental,omitempty"`
-	NodesReused    uint64         `json:"nodes_reused,omitempty"`
-	NodesRebuilt   uint64         `json:"nodes_rebuilt,omitempty"`
-	ChaosSeverity  float64        `json:"chaos_severity"`
+	Incremental  bool   `json:"incremental,omitempty"`
+	NodesReused  uint64 `json:"nodes_reused,omitempty"`
+	NodesRebuilt uint64 `json:"nodes_rebuilt,omitempty"`
+	// Durable-archive state (see ReloadStatus): present only when the
+	// source persists generations to the on-disk archive.
+	Archive   bool `json:"archive,omitempty"`
+	Recovered bool `json:"recovered,omitempty"`
+	// RecoveredGen is a pointer so a warm start onto generation 0 — a
+	// perfectly good recovered generation — still serializes instead of
+	// vanishing behind omitempty's zero-value rule.
+	RecoveredGen         *int           `json:"recovered_gen,omitempty"`
+	SegmentsVerified     uint64         `json:"segments_verified,omitempty"`
+	SegmentsQuarantined  uint64         `json:"segments_quarantined,omitempty"`
+	ArchiveWrites        uint64         `json:"archive_writes,omitempty"`
+	ArchiveWriteFailures uint64         `json:"archive_write_failures,omitempty"`
+	ArchiveLastError     string         `json:"archive_last_error,omitempty"`
+	ChaosSeverity        float64        `json:"chaos_severity"`
 	Sources        []SourceStatus `json:"sources,omitempty"`
 	DegradedSrc    []string       `json:"degraded_sources,omitempty"`
 	Unavailable    []string       `json:"unavailable_sources,omitempty"`
@@ -740,6 +753,14 @@ func (s *Server) handleReadyz(*http.Request) response {
 		ReloadFailures: rs.ConsecutiveFailures, ReloadGaveUp: rs.GaveUp,
 		Incremental: rs.Incremental,
 		NodesReused: rs.NodesReused, NodesRebuilt: rs.NodesRebuilt,
+		Archive: rs.Archive, Recovered: rs.Recovered,
+		SegmentsVerified: rs.SegmentsVerified, SegmentsQuarantined: rs.SegmentsQuarantined,
+		ArchiveWrites: rs.ArchiveWrites, ArchiveWriteFailures: rs.ArchiveWriteFailures,
+		ArchiveLastError: rs.ArchiveLastError,
+	}
+	if rs.Recovered {
+		rg := rs.RecoveredGen
+		body.RecoveredGen = &rg
 	}
 	if v.Health == nil {
 		body.Ready = true
@@ -785,6 +806,16 @@ func (s *Server) handleMetrics(*http.Request) response {
 	snap.NodesRebuilt = rs.NodesRebuilt
 	snap.IndexReuses = rs.IndexReuses
 	snap.GraphReuses = rs.GraphReuses
+	snap.Archive = rs.Archive
+	snap.Recovered = rs.Recovered
+	if rs.Recovered {
+		rg := rs.RecoveredGen
+		snap.RecoveredGen = &rg
+	}
+	snap.SegmentsVerified = rs.SegmentsVerified
+	snap.SegmentsQuarantined = rs.SegmentsQuarantined
+	snap.ArchiveWrites = rs.ArchiveWrites
+	snap.ArchiveWriteFailures = rs.ArchiveWriteFailures
 	if h := v.Health; h != nil {
 		snap.BuildWorkers = h.Workers
 		for _, nt := range h.Timings {

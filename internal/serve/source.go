@@ -101,6 +101,21 @@ type ReloadStatus struct {
 	NodesRebuilt uint64 `json:"nodes_rebuilt,omitempty"`
 	IndexReuses  uint64 `json:"index_reuses,omitempty"`
 	GraphReuses  uint64 `json:"graph_reuses,omitempty"`
+	// Archive reports that the source persists generations to the
+	// durable on-disk archive. Recovered means this process warm-started
+	// from it, with RecoveredGen the newest adopted generation (the
+	// field is elided when zero; Recovered disambiguates a recovered
+	// generation 0). The counters mirror the archive's write/verify/
+	// quarantine ledger, and ArchiveLastError is the most recent write
+	// failure — durability degraded, serving unaffected.
+	Archive              bool   `json:"archive,omitempty"`
+	Recovered            bool   `json:"recovered,omitempty"`
+	RecoveredGen         int    `json:"recovered_gen,omitempty"`
+	SegmentsVerified     uint64 `json:"segments_verified,omitempty"`
+	SegmentsQuarantined  uint64 `json:"segments_quarantined,omitempty"`
+	ArchiveWrites        uint64 `json:"archive_writes,omitempty"`
+	ArchiveWriteFailures uint64 `json:"archive_write_failures,omitempty"`
+	ArchiveLastError     string `json:"archive_last_error,omitempty"`
 }
 
 // Source supplies the server's generations. Implementations must be

@@ -6,6 +6,7 @@ import (
 
 	"stateowned"
 	"stateowned/internal/churn"
+	"stateowned/internal/durable"
 )
 
 // BenchmarkReloadSwap measures the publish step alone — the only part
@@ -96,3 +97,52 @@ func BenchmarkAdvanceFull(b *testing.B) { benchAdvance(b, false) }
 // machinery's payoff at each churn level (and its fingerprint-hashing
 // overhead at the heavy end).
 func BenchmarkAdvanceIncremental(b *testing.B) { benchAdvance(b, true) }
+
+// BenchmarkColdStart is what a restarted process without -data-dir
+// pays before it can serve: the full generation-0 pipeline build.
+func BenchmarkColdStart(b *testing.B) {
+	for _, scale := range advanceScales {
+		b.Run(fmt.Sprintf("scale%.1f", scale), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := New(Options{Base: stateowned.Config{Seed: 7, Scale: scale}})
+				if s.Current() == nil {
+					b.Fatal("cold start published nothing")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWarmStart is the same boot over a populated archive: open
+// (manifest decode + checksum verification of every retained segment),
+// restore the newest chain (import, re-export self-check) and recompile
+// the serving index — no pipeline build. The gap against
+// BenchmarkColdStart is what the durable archive buys a restarted
+// replica; EXPERIMENTS.md records the curve across scales.
+func BenchmarkWarmStart(b *testing.B) {
+	for _, scale := range advanceScales {
+		b.Run(fmt.Sprintf("scale%.1f", scale), func(b *testing.B) {
+			mem := durable.NewMemFS()
+			seedArchive, err := durable.Open(durable.Options{FS: mem, Dir: "arch"})
+			if err != nil {
+				b.Fatalf("opening archive: %v", err)
+			}
+			seedStore := New(Options{Base: stateowned.Config{Seed: 7, Scale: scale}, Archive: seedArchive})
+			if c := seedArchive.Counters(); c.Writes == 0 || c.WriteFailures != 0 {
+				b.Fatalf("seeding the archive failed: %+v", c)
+			}
+			_ = seedStore
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a, err := durable.Open(durable.Options{FS: mem, Dir: "arch"})
+				if err != nil {
+					b.Fatalf("reopening archive: %v", err)
+				}
+				s := New(Options{Base: stateowned.Config{Seed: 7, Scale: scale}, Archive: a})
+				if s.RecoveredGen() != 0 {
+					b.Fatalf("warm start fell back to a cold build (recovered %d)", s.RecoveredGen())
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,128 @@
+package snapshot
+
+// Golden pin of the seed-42 archive manifest. The manifest is the
+// archive's recovery root: every byte of it — framing, sequence
+// numbers, segment checksums, dataset fingerprints, eviction records —
+// must be a pure function of (Base config, churn seed, retention), or
+// recovery stops being reproducible across builds and platforms. The
+// fixture holds the raw manifest bytes a Workers-pinned seed-42 chain
+// writes; any cross-PR drift in world generation, dataset export,
+// segment encoding or the manifest framing shows up as a readable
+// first-diff naming the record (or byte offset) that moved.
+//
+// Regenerate deliberately with:
+//
+//	go test ./internal/snapshot -run GoldenManifest -update
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"stateowned"
+	"stateowned/internal/durable"
+)
+
+const goldenManifestPath = "testdata/golden_manifest_seed42"
+
+// buildManifestBytes runs an archived seed-42 chain with a retention
+// window tighter than the chain, so the fixture pins eviction records
+// too, and returns the manifest verbatim. Workers is pinned to 1: the
+// archived health snapshot records the worker count and first-touch
+// source order, which would otherwise vary with GOMAXPROCS.
+func buildManifestBytes(t *testing.T) []byte {
+	t.Helper()
+	mem := durable.NewMemFS()
+	a, err := durable.Open(durable.Options{FS: mem, Dir: "arch", Retain: chainGens})
+	if err != nil {
+		t.Fatalf("archive: %v", err)
+	}
+	s := New(Options{
+		Base:    stateowned.Config{Seed: 42, Scale: testScale, Workers: 1},
+		Retain:  chainGens + 1,
+		Archive: a,
+	})
+	for gen := 1; gen <= chainGens; gen++ {
+		if s.Advance() == nil {
+			t.Fatalf("advance to generation %d quarantined: %v", gen, s.Degraded())
+		}
+	}
+	if c := a.Counters(); c.WriteFailures != 0 || c.Evictions == 0 {
+		t.Fatalf("chain did not exercise the full manifest surface: %+v", c)
+	}
+	data, err := mem.ReadFile("arch/" + durable.ManifestName)
+	if err != nil {
+		t.Fatalf("reading manifest: %v", err)
+	}
+	return data
+}
+
+// manifestFrames splits a manifest into its raw framed records without
+// verifying them — the diff reporter's view, deliberately dumber than
+// the real decoder so it can still frame a fixture the decoder rejects.
+func manifestFrames(data []byte) [][]byte {
+	var frames [][]byte
+	for len(data) >= 4 {
+		n := int(binary.BigEndian.Uint32(data))
+		end := 4 + n + 32
+		if n <= 0 || end > len(data) {
+			break
+		}
+		frames = append(frames, data[:end])
+		data = data[end:]
+	}
+	if len(data) > 0 {
+		frames = append(frames, data)
+	}
+	return frames
+}
+
+// TestGoldenManifestSeed42 compares the manifest a fresh seed-42 chain
+// writes against the checked-in fixture, byte for byte. On divergence
+// it reports the first differing record — its index, and both records'
+// JSON payloads — rather than a binary blob.
+func TestGoldenManifestSeed42(t *testing.T) {
+	got := buildManifestBytes(t)
+	if *updateChain {
+		if err := os.MkdirAll(filepath.Dir(goldenManifestPath), 0o755); err != nil {
+			t.Fatalf("creating testdata: %v", err)
+		}
+		if err := os.WriteFile(goldenManifestPath, got, 0o644); err != nil {
+			t.Fatalf("writing fixture: %v", err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenManifestPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenManifestPath)
+	if err != nil {
+		t.Fatalf("missing golden manifest (regenerate with `go test ./internal/snapshot -run GoldenManifest -update`): %v", err)
+	}
+	if bytes.Equal(got, want) {
+		return
+	}
+	gotFrames, wantFrames := manifestFrames(got), manifestFrames(want)
+	for i := 0; i < len(gotFrames) && i < len(wantFrames); i++ {
+		if bytes.Equal(gotFrames[i], wantFrames[i]) {
+			continue
+		}
+		t.Fatalf("manifest record %d diverged from the fixture\nbuilt:   %s\nfixture: %s\nif the change is intentional, regenerate with `go test ./internal/snapshot -run GoldenManifest -update`",
+			i, framePayload(gotFrames[i]), framePayload(wantFrames[i]))
+	}
+	t.Fatalf("manifest record count %d, fixture has %d (first %d records identical)\nif the change is intentional, regenerate with `go test ./internal/snapshot -run GoldenManifest -update`",
+		len(gotFrames), len(wantFrames), min(len(gotFrames), len(wantFrames)))
+}
+
+// framePayload extracts a frame's JSON payload for the diff report,
+// falling back to a hex summary for malformed frames.
+func framePayload(frame []byte) string {
+	if len(frame) >= 4 {
+		n := int(binary.BigEndian.Uint32(frame))
+		if n > 0 && 4+n <= len(frame) {
+			return string(frame[4 : 4+n])
+		}
+	}
+	return fmt.Sprintf("(unframeable %d bytes: % x...)", len(frame), frame[:min(len(frame), 24)])
+}

@@ -31,6 +31,7 @@ import (
 
 	"stateowned"
 	"stateowned/internal/churn"
+	"stateowned/internal/durable"
 	"stateowned/internal/rng"
 	"stateowned/internal/runner"
 	"stateowned/internal/serve"
@@ -140,6 +141,14 @@ type Options struct {
 	// returns (nil = time.After). Tests inject a hand-fired channel so
 	// retry schedules are deterministic.
 	After func(d time.Duration) <-chan time.Time
+	// Archive, when non-nil, is the durable generation archive: every
+	// committed generation is persisted to it (crash-consistent segment
+	// + manifest write), and New adopts the newest verified archived
+	// generations for immediate warm-start serving instead of paying a
+	// cold generation-0 pipeline build. Archive write failures degrade
+	// durability, never availability: the store keeps serving from
+	// memory and surfaces the failure counters on /readyz and /metrics.
+	Archive *durable.Archive
 	// Incremental turns on dirty-set rebuilds: each generation threads
 	// the previous generation's artifact memo through the pipeline's
 	// build graph, so only nodes whose input fingerprints changed under
@@ -192,6 +201,17 @@ type Generation struct {
 	// predecessor (zero-valued when Options.Incremental is off or no
 	// predecessor memo was available).
 	Stats BuildStats
+	// Recovered marks a generation adopted from the durable archive at
+	// startup rather than built by this process. A recovered generation
+	// serves the record plane (/v1/*, /v1/hijacks, /v1/diff via
+	// archived spans) byte-identically to its pre-crash self; its World
+	// and Graph are nil — ground truth and the topology plane are
+	// process memory, restored by the next live-built generation.
+	Recovered bool
+
+	// recSpans are the archived churn-audit spans a recovered
+	// generation carries (nil for live-built generations).
+	recSpans []durable.AuditSpan
 
 	view serve.View
 }
@@ -229,6 +249,19 @@ type Store struct {
 	// store is serving last-known-good. Cleared by the next successful
 	// swap.
 	degraded atomic.Pointer[Degradation]
+
+	// archive is the durable generation archive (nil = memory-only).
+	// recoveredGen is the newest generation adopted from it at startup
+	// (-1 = cold start); archiveErr is the most recent archive write
+	// failure, for /readyz.
+	archive      *durable.Archive
+	recoveredGen atomic.Int64
+	archiveErr   atomic.Pointer[string]
+	// recSpans are the churn-audit spans archived with recovered
+	// generations: (from, to) → audit. They answer /v1/diff for pairs
+	// whose `to` generation has no world to audit against anymore.
+	// Written once during New's adoption pass, read-only after.
+	recSpans map[[2]int]*churn.Audit
 
 	// buildMu serializes builders (Advance is safe to call concurrently,
 	// advances just queue) and guards failures and staged; mu guards the
@@ -299,8 +332,16 @@ func New(opts Options) *Store {
 	if after == nil {
 		after = time.After
 	}
-	s := &Store{opts: opts, val: val.normalize(), after: after, churnBase: rng.New(seed)}
-	s.publish(s.build(0))
+	s := &Store{opts: opts, val: val.normalize(), after: after, churnBase: rng.New(seed),
+		archive: opts.Archive}
+	s.recoveredGen.Store(-1)
+	// Warm start: adopt the newest verified archived generations and
+	// resume from there — the reload cadence continues at recovered+1.
+	// A cold start (no archive, empty archive, or nothing verifiable)
+	// builds generation 0 as always.
+	if !s.adoptRecovered() {
+		s.publish(s.build(0))
+	}
 	return s
 }
 
@@ -428,9 +469,17 @@ func (s *Store) publish(g *Generation) {
 		s.ring[0] = nil
 		s.ring = s.ring[1:]
 	}
+	retained := append([]*Generation(nil), s.ring...)
 	hook := s.onEvict
 	s.mu.Unlock()
 	s.swaps.Add(1)
+	// Persist the generation after the swap, outside the ring lock:
+	// readers were never waiting on the disk, and a write failure
+	// leaves the in-memory store fully serving (counted and surfaced,
+	// not fatal). Recovered generations are already on disk.
+	if s.archive != nil && !g.Recovered {
+		s.archiveCommit(g, retained)
+	}
 	if hook != nil {
 		for _, gen := range evicted {
 			hook(gen)
@@ -786,15 +835,24 @@ func (ss storeSource) Generation(n int) (*serve.View, serve.GenStatus) {
 }
 
 // Diff audits `from`'s published dataset against `to`'s ground-truth
-// world — exactly churn.RunAudit over the two retained generations, so
-// the HTTP answer is byte-identical to the offline audit.
+// world — exactly churn.RunAuditFlagged over the two retained
+// generations (each stale row joined against `to`'s hijack detection
+// report), so the HTTP answer is byte-identical to the offline audit.
+// A recovered generation carries no world; for those, Diff serves the
+// audit span archived at `to`'s original commit, which is the same
+// bytes the pre-crash store computed. Pairs that never coexisted
+// pre-crash (from a post-recovery build to a recovered `to`) have no
+// span and answer 404.
 func (ss storeSource) Diff(from, to *serve.View) (*churn.Audit, bool) {
 	gf, stf := ss.s.Lookup(from.Gen)
 	gt, stt := ss.s.Lookup(to.Gen)
 	if stf != serve.GenOK || stt != serve.GenOK {
 		return nil, false
 	}
-	a := churn.RunAudit(gf.Result.Dataset, gt.World)
+	if gt.World == nil {
+		return ss.s.recoveredSpan(gf.Gen, gt.Gen)
+	}
+	a := churn.RunAuditFlagged(gf.Result.Dataset, gt.World, gt.View().Hijacks)
 	return &a, true
 }
 
@@ -811,6 +869,21 @@ func (ss storeSource) ReloadStatus() serve.ReloadStatus {
 	if ss.s.opts.Incremental {
 		st.Incremental = true
 		st.NodesRebuilt, st.NodesReused, st.IndexReuses, st.GraphReuses = ss.s.IncrementalCounters()
+	}
+	if a := ss.s.archive; a != nil {
+		st.Archive = true
+		if rg := ss.s.RecoveredGen(); rg >= 0 {
+			st.Recovered = true
+			st.RecoveredGen = rg
+		}
+		c := a.Counters()
+		st.SegmentsVerified = c.SegmentsVerified
+		st.SegmentsQuarantined = c.SegmentsQuarantined
+		st.ArchiveWrites = c.Writes
+		st.ArchiveWriteFailures = c.WriteFailures
+		if msg := ss.s.archiveErr.Load(); msg != nil {
+			st.ArchiveLastError = *msg
+		}
 	}
 	return st
 }
